@@ -1,0 +1,36 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench repro-fast repro-bench examples
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# The full benchmark harness: one testing.B benchmark per paper table and
+# figure plus ablations and micro-benchmarks.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table/figure at the fast scale (minutes each; raw
+# outputs land in results/).
+repro-fast:
+	go run ./cmd/flbench -exp all -scale fast
+
+# Same at the CI-sized bench scale (seconds each).
+repro-bench:
+	go run ./cmd/flbench -exp all -scale bench
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/convex_theory
+	go run ./examples/private_delta
+	go run ./examples/efficient_uplink
+	go run ./examples/crossdevice_text
+	go run ./examples/crosssilo_image

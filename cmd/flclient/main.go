@@ -1,0 +1,123 @@
+// Command flclient joins a federated-learning server (cmd/flserver) over
+// TCP with a private shard of a synthetic benchmark and trains locally.
+//
+// Example:
+//
+//	flclient -addr localhost:7070 -dataset mnist -shard 0 -of 2 -sim 0
+//
+// Every client of one session must use the same -dataset, -featdim, and
+// -modelseed as the server, and a distinct -shard in [0, -of).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:7070", "server address")
+		dataset    = flag.String("dataset", "mnist", "mnist, cifar, femnist, or sent140")
+		shard      = flag.Int("shard", 0, "this client's shard index")
+		of         = flag.Int("of", 2, "total number of shards (clients)")
+		sim        = flag.Float64("sim", 0.0, "similarity s of the label-skew split")
+		trainN     = flag.Int("train", 2000, "total training pool size (split across shards)")
+		e          = flag.Int("e", 5, "local steps E")
+		b          = flag.Int("b", 32, "batch size B")
+		lr         = flag.Float64("lr", 0.1, "local learning rate")
+		lambda     = flag.Float64("lambda", 5e-3, "regularization weight λ (used under rfedavg+)")
+		featureDim = flag.Int("featdim", 48, "feature-layer width d")
+		modelSeed  = flag.Int64("modelseed", 7, "initial-model seed (must match server)")
+		dataSeed   = flag.Int64("dataseed", 1, "data-generation seed (must match other clients)")
+	)
+	flag.Parse()
+	if *shard < 0 || *shard >= *of {
+		fmt.Fprintf(os.Stderr, "flclient: shard %d outside [0, %d)\n", *shard, *of)
+		os.Exit(2)
+	}
+
+	var pool *data.Dataset
+	var builder nn.Builder
+	newOpt := func() opt.Optimizer { return opt.NewSGD() }
+	switch *dataset {
+	case "mnist":
+		pool = data.SynthMNIST(*trainN, *dataSeed)
+		builder = nn.NewImageCNN(data.SynthMNISTSpec, *featureDim)
+	case "cifar":
+		pool = data.SynthCIFAR(*trainN, *dataSeed)
+		builder = nn.NewImageCNN(data.SynthCIFARSpec, *featureDim)
+	case "femnist":
+		pool = data.SynthFEMNIST(*of, *trainN / *of, *dataSeed)
+		builder = nn.NewImageCNN(data.SynthFEMNISTSpec, *featureDim)
+	case "sent140":
+		pool = data.SynthSent140(*of, *trainN / *of, *dataSeed)
+		builder = nn.NewTextLSTM(data.SynthSent140Spec, 16, 32, *featureDim)
+		newOpt = func() opt.Optimizer { return opt.NewRMSProp() }
+		if *lr == 0.1 {
+			*lr = 0.01
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "flclient: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+
+	// All clients derive the same partition from the shared data seed, then
+	// keep only their own shard — no raw data ever crosses the wire.
+	rng := rand.New(rand.NewSource(*dataSeed * 13))
+	var parts data.Partition
+	if pool.Users != nil {
+		parts = data.PartitionByUser(pool.Users, *of, rng)
+	} else {
+		parts = data.PartitionBySimilarity(pool.Y, *of, *sim, rng)
+	}
+	mine := pool.Subset(parts[*shard])
+	fmt.Printf("shard %d/%d: %d samples, %d classes\n", *shard, *of, mine.Len(), mine.Classes)
+
+	conn, err := transport.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	cfg := transport.ClientConfig{
+		Builder:      builder,
+		ModelSeed:    *modelSeed,
+		Seed:         int64(*shard + 1),
+		LocalSteps:   *e,
+		BatchSize:    *b,
+		LR:           opt.ConstLR(*lr),
+		NewOptimizer: newOpt,
+		Lambda:       *lambda,
+	}
+	final, err := RunAndReport(conn, mine, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done: received final model (%d params); sent %s, received %s\n",
+		len(final), fmtBytes(conn.BytesSent()), fmtBytes(conn.BytesReceived()))
+}
+
+// RunAndReport wraps transport.RunClient (split out for clarity).
+func RunAndReport(conn transport.Conn, shard *data.Dataset, cfg transport.ClientConfig) ([]float64, error) {
+	return transport.RunClient(conn, shard, cfg)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

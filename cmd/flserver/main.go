@@ -1,0 +1,123 @@
+// Command flserver runs a real federated-learning server over TCP. Clients
+// (cmd/flclient) connect, join, and train; the server aggregates with
+// FedAvg or rFedAvg+ and prints the per-round loss.
+//
+// Example (3 terminals):
+//
+//	flserver -addr :7070 -clients 2 -rounds 10 -algo rfedavg+
+//	flclient -addr localhost:7070 -dataset mnist -shard 0 -of 2
+//	flclient -addr localhost:7070 -dataset mnist -shard 1 -of 2
+//
+// The model architecture is fixed by (-dataset, -featdim, -modelseed) and
+// must match the clients'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7070", "listen address")
+		clients    = flag.Int("clients", 2, "number of clients to wait for")
+		rounds     = flag.Int("rounds", 10, "communication rounds")
+		algo       = flag.String("algo", "rfedavg+", "fedavg or rfedavg+")
+		dataset    = flag.String("dataset", "mnist", "mnist, cifar, femnist, or sent140 (fixes the model)")
+		featureDim = flag.Int("featdim", 48, "feature-layer width d")
+		modelSeed  = flag.Int64("modelseed", 7, "initial-model seed (must match clients)")
+		testN      = flag.Int("test", 500, "server-side test samples for final evaluation")
+		sr         = flag.Float64("sr", 1.0, "sample ratio per round (partial participation)")
+		seed       = flag.Int64("seed", 1, "cohort-sampling seed")
+	)
+	flag.Parse()
+
+	builder, err := modelFor(*dataset, *featureDim)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(2)
+	}
+	net := builder(*modelSeed)
+
+	l, err := transport.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+	defer l.Close()
+	fmt.Printf("listening on %s, waiting for %d clients…\n", l.Addr(), *clients)
+
+	conns := make([]transport.Conn, *clients)
+	for i := range conns {
+		c, err := l.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flserver: accept:", err)
+			os.Exit(1)
+		}
+		conns[i] = c
+		fmt.Printf("client %d connected\n", i)
+	}
+
+	cfg := transport.ServerConfig{
+		Algorithm:     transport.Algorithm(*algo),
+		Rounds:        *rounds,
+		InitialParams: net.GetFlat(),
+		FeatureDim:    net.FeatureDim,
+		SampleRatio:   *sr,
+		Seed:          *seed,
+	}
+	res, err := transport.Serve(cfg, conns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+	for i, loss := range res.RoundLosses {
+		fmt.Printf("round %3d  loss %.4f\n", i+1, loss)
+	}
+
+	test := testSetFor(*dataset, *testN)
+	if test != nil {
+		net.SetFlat(res.FinalParams)
+		idx := make([]int, test.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		x, y := test.Gather(idx)
+		fmt.Printf("final test accuracy: %.4f\n", nn.Accuracy(net.Predict(x), y))
+	}
+}
+
+func modelFor(dataset string, featureDim int) (nn.Builder, error) {
+	switch dataset {
+	case "mnist":
+		return nn.NewImageCNN(data.SynthMNISTSpec, featureDim), nil
+	case "cifar":
+		return nn.NewImageCNN(data.SynthCIFARSpec, featureDim), nil
+	case "femnist":
+		return nn.NewImageCNN(data.SynthFEMNISTSpec, featureDim), nil
+	case "sent140":
+		return nn.NewTextLSTM(data.SynthSent140Spec, 16, 32, featureDim), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func testSetFor(dataset string, n int) *data.Dataset {
+	switch dataset {
+	case "mnist":
+		return data.SynthMNIST(n, 999)
+	case "cifar":
+		return data.SynthCIFAR(n, 999)
+	case "femnist":
+		return data.SynthFEMNIST(10, n/10+1, 999)
+	case "sent140":
+		return data.SynthSent140(10, n/10+1, 999)
+	default:
+		return nil
+	}
+}

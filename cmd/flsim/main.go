@@ -1,0 +1,160 @@
+// Command flsim runs a single federated-learning simulation with fully
+// configurable parameters — the general-purpose driver behind the
+// experiment harness.
+//
+// Example:
+//
+//	flsim -dataset cifar -method rfedavg+ -clients 20 -rounds 30 \
+//	      -e 5 -b 50 -sr 1.0 -sim 0 -lambda 5e-3
+//	flsim -dataset sent140 -method fedavg -natural -clients 20 -rounds 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "mnist", "mnist, cifar, sent140, or femnist")
+		method     = flag.String("method", "rfedavg+", "fedavg, fedprox, scaffold, qfedavg, rfedavg, rfedavg+")
+		clients    = flag.Int("clients", 10, "number of clients N")
+		rounds     = flag.Int("rounds", 20, "communication rounds C")
+		e          = flag.Int("e", 5, "local steps E")
+		b          = flag.Int("b", 32, "batch size B")
+		sr         = flag.Float64("sr", 1.0, "sample ratio SR")
+		sim        = flag.Float64("sim", 0.0, "similarity s ∈ [0,1] for the label-skew split")
+		natural    = flag.Bool("natural", false, "use the natural per-user partition (sent140/femnist)")
+		lambda     = flag.Float64("lambda", 5e-3, "distribution-regularization weight λ")
+		mu         = flag.Float64("mu", 1.0, "FedProx proximal μ")
+		q          = flag.Float64("q", 1.0, "q-FedAvg fairness exponent")
+		lr         = flag.Float64("lr", 0.1, "local learning rate")
+		trainN     = flag.Int("train", 3000, "training samples (image datasets)")
+		testN      = flag.Int("test", 800, "test samples (image datasets)")
+		featureDim = flag.Int("featdim", 48, "feature-layer width d")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	train, test, builder, defLR, newOpt, err := makeData(*dataset, *trainN, *testN, *clients, *featureDim, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(2)
+	}
+	if !flagWasSet("lr") {
+		*lr = defLR
+	}
+
+	rng := rand.New(rand.NewSource(*seed * 13))
+	var parts data.Partition
+	if *natural {
+		if train.Users == nil {
+			fmt.Fprintf(os.Stderr, "flsim: %s has no natural user partition\n", *dataset)
+			os.Exit(2)
+		}
+		parts = data.PartitionByUser(train.Users, *clients, rng)
+	} else {
+		parts = data.PartitionBySimilarity(train.Y, *clients, *sim, rng)
+	}
+	shards := make([]*data.Dataset, len(parts))
+	for k, idx := range parts {
+		shards[k] = train.Subset(idx)
+	}
+
+	cfg := fl.Config{
+		Builder:      builder,
+		ModelSeed:    *seed * 31,
+		Seed:         *seed * 17,
+		LocalSteps:   *e,
+		BatchSize:    *b,
+		SampleRatio:  *sr,
+		LR:           opt.ConstLR(*lr),
+		NewOptimizer: newOpt,
+	}
+	f := fl.NewFederation(cfg, shards, test)
+
+	var alg fl.Algorithm
+	switch strings.ToLower(*method) {
+	case "fedavg":
+		alg = fl.NewFedAvg()
+	case "fedprox":
+		alg = fl.NewFedProx(*mu)
+	case "scaffold":
+		alg = fl.NewScaffold(1.0)
+	case "qfedavg", "q-fedavg":
+		alg = fl.NewQFedAvg(*q)
+	case "rfedavg":
+		alg = core.NewRFedAvg(*lambda)
+	case "rfedavg+", "rfedavgplus":
+		alg = core.NewRFedAvgPlus(*lambda)
+	default:
+		fmt.Fprintf(os.Stderr, "flsim: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s on %s: N=%d E=%d B=%d SR=%g rounds=%d (|w|=%d, d=%d)\n",
+		alg.Name(), *dataset, *clients, *e, *b, *sr, *rounds, f.NumParams(), f.FeatureDim())
+	h := fl.Run(f, alg, *rounds)
+	for _, r := range h.Rounds {
+		acc := "      -"
+		if !math.IsNaN(r.TestAcc) {
+			acc = fmt.Sprintf("%.4f", r.TestAcc)
+		}
+		fmt.Printf("round %3d  loss %.4f  acc %s  %.2fs  up %s down %s\n",
+			r.Round+1, r.TrainLoss, acc, r.Seconds,
+			metrics.FormatBytes(r.UpBytes), metrics.FormatBytes(r.DownBytes))
+	}
+	fmt.Println(h.Summary())
+}
+
+func makeData(dataset string, trainN, testN, clients, featureDim int, seed int64) (
+	train, test *data.Dataset, builder nn.Builder, lr float64, newOpt func() opt.Optimizer, err error) {
+	newOpt = func() opt.Optimizer { return opt.NewSGD() }
+	lr = 0.1
+	switch dataset {
+	case "mnist":
+		return data.SynthMNIST(trainN, seed), data.SynthMNIST(testN, seed+1),
+			nn.NewImageCNN(data.SynthMNISTSpec, featureDim), lr, newOpt, nil
+	case "cifar":
+		return data.SynthCIFAR(trainN, seed), data.SynthCIFAR(testN, seed+1),
+			nn.NewImageCNN(data.SynthCIFARSpec, featureDim), lr, newOpt, nil
+	case "femnist":
+		perWriter := trainN / clients
+		if perWriter < 8 {
+			perWriter = 8
+		}
+		return data.SynthFEMNIST(clients, perWriter, seed), data.SynthFEMNIST(clients/2+1, perWriter, seed+1),
+			nn.NewImageCNN(data.SynthFEMNISTSpec, featureDim), lr, newOpt, nil
+	case "sent140":
+		perUser := trainN / clients
+		if perUser < 8 {
+			perUser = 8
+		}
+		return data.SynthSent140(clients, perUser, seed), data.SynthSent140(clients/2+1, perUser, seed+1),
+			nn.NewTextLSTM(data.SynthSent140Spec, 16, 32, featureDim), 0.01,
+			func() opt.Optimizer { return opt.NewRMSProp() }, nil
+	default:
+		return nil, nil, nil, 0, nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,35 @@
+// Convergence theory check: on a strongly convex quadratic federation with
+// stochastic gradients and the theorem learning rate η_t = 2/(μ(γ+t)), the
+// averaged iterate of rFedAvg and rFedAvg+ converges to the exact fixed
+// point at O(1/t) (Theorems 1–2), and the cost of the *delayed* feature
+// maps — the trajectory deviation from the exact-map run — vanishes an
+// order faster (~η², Lemma 3).
+//
+//	go run ./examples/convex_theory
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/convex"
+)
+
+func main() {
+	p := convex.NewRandomProblem(8, 10, 1, 8, 0.5, 42)
+	p.NoiseStd = 0.5
+	const rounds, e = 2000, 5
+
+	exact := p.Run(convex.Exact, rounds, e, 7)
+	fmt.Printf("strongly convex federation: N=%d, dim=%d, μ=%g, L=%g, λ=%g, E=%d\n\n",
+		p.N, p.Dim, p.Mu, p.L, p.Lambda, e)
+	fmt.Println("t        exact ‖w̄-w*‖²   rFedAvg        rFedAvg+       dev(rFedAvg)   dev(rFedAvg+)")
+	ra := p.Run(convex.RFedAvg, rounds, e, 7)
+	rp := p.Run(convex.RFedAvgPlus, rounds, e, 7)
+	devA := ra.DeviationFrom(exact)
+	devP := rp.DeviationFrom(exact)
+	for _, t := range []int{10, 100, 1000, rounds*e - 1} {
+		fmt.Printf("%-8d %-14.3e %-14.3e %-14.3e %-14.3e %-14.3e\n",
+			t, exact.DistSq[t], ra.DistSq[t], rp.DistSq[t], devA[t], devP[t])
+	}
+	fmt.Println("\nexpected shape: all three error columns decay ~1/t; both deviation columns decay ~1/t²")
+}

@@ -1,0 +1,54 @@
+// Cross-device sentiment analysis: many phones, each holding one user's
+// naturally skewed tweet-like data, with partial participation (only 20% of
+// devices train per round) and an LSTM trained with RMSProp — the paper's
+// Sent140 setting. Demonstrates that the distribution regularizer works
+// with non-SGD local solvers, where FedProx and q-FedAvg struggle.
+//
+//	go run ./examples/crossdevice_text
+package main
+
+import (
+	"fmt"
+
+	rfedavg "repro"
+	"repro/internal/opt"
+)
+
+func main() {
+	const (
+		devices = 40
+		rounds  = 12
+	)
+	// Each device is one user with a personal topic mix (feature skew),
+	// positivity bias (label skew), and sample count.
+	train := rfedavg.SynthSent140(devices, 40, 1)
+	test := rfedavg.SynthSent140(devices/2, 20, 2)
+	shards := rfedavg.SplitByUser(train, devices, 13)
+
+	fmt.Printf("cross-device: %d devices, 20%% participation per round, LSTM + RMSProp\n\n", devices)
+	cfg := rfedavg.Config{
+		Builder:      rfedavg.NewTextLSTM(rfedavg.SynthSent140Spec, 16, 32, 48),
+		ModelSeed:    7,
+		Seed:         11,
+		LocalSteps:   10,
+		BatchSize:    10,
+		SampleRatio:  0.2,
+		LR:           rfedavg.ConstLR(0.01),
+		NewOptimizer: func() rfedavg.Optimizer { return opt.NewRMSProp() },
+	}
+
+	for _, alg := range []rfedavg.Algorithm{
+		rfedavg.NewFedAvg(),
+		rfedavg.NewFedProx(0.01),
+		rfedavg.NewQFedAvg(1e-4),
+		rfedavg.NewRFedAvg(0.05),
+		rfedavg.NewRFedAvgPlus(0.05),
+	} {
+		fed := rfedavg.NewFederation(cfg, shards, test)
+		hist := rfedavg.Run(fed, alg, rounds)
+		up, down := hist.TotalBytes()
+		fmt.Printf("%-9s final acc %.4f  best %.4f  comm up/down %d/%d KiB\n",
+			alg.Name(), hist.FinalAccuracy(3), hist.BestAccuracy(), up>>10, down>>10)
+	}
+	fmt.Println("\nexpected shape: rFedAvg/rFedAvg+ lead on the naturally non-IID split (Tab. II, Sent140)")
+}

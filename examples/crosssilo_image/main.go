@@ -1,0 +1,54 @@
+// Cross-silo image classification: a handful of institutions (think
+// hospitals or banks) hold label-skewed slices of a hard image task (the
+// CIFAR10 stand-in) and never share raw data. All six methods from the
+// paper's evaluation run under full participation, printing a Tab. I-style
+// comparison plus the fairness view of Fig. 11.
+//
+//	go run ./examples/crosssilo_image
+package main
+
+import (
+	"fmt"
+
+	rfedavg "repro"
+)
+
+func main() {
+	const (
+		silos  = 10
+		rounds = 40
+	)
+	train := rfedavg.SynthCIFAR(3000, 1)
+	test := rfedavg.SynthCIFAR(800, 2)
+	shards := rfedavg.SplitBySimilarity(train, silos, 0, 13) // totally non-IID
+
+	fmt.Printf("cross-silo: %d institutions, %d rounds, totally non-IID label split\n\n", silos, rounds)
+	cfg := rfedavg.Config{
+		Builder:    rfedavg.NewImageCNN(rfedavg.SynthCIFARSpec, 48),
+		ModelSeed:  7,
+		Seed:       11,
+		LocalSteps: 5,
+		BatchSize:  50,
+		LR:         rfedavg.ConstLR(0.1),
+	}
+
+	const lambda = 3e-4
+	algs := []rfedavg.Algorithm{
+		rfedavg.NewFedAvg(),
+		rfedavg.NewFedProx(1.0),
+		rfedavg.NewScaffold(1.0),
+		rfedavg.NewQFedAvg(1.0),
+		rfedavg.NewRFedAvg(lambda),
+		rfedavg.NewRFedAvgPlus(lambda),
+	}
+	for _, alg := range algs {
+		fed := rfedavg.NewFederation(cfg, shards, test)
+		hist := rfedavg.Run(fed, alg, rounds)
+
+		// Fig. 11 view: how well does the global model serve each silo?
+		accs := fed.EvaluatePerClient(alg.GlobalParams())
+		fair := rfedavg.NewFairness(accs)
+		fmt.Printf("%-9s final acc %.4f  per-silo %s\n", alg.Name(), hist.FinalAccuracy(3), fair)
+	}
+	fmt.Println("\nexpected shape: rFedAvg+ leads on final accuracy and lifts the worst silos")
+}

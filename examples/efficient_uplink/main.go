@@ -1,0 +1,63 @@
+// Efficient uplink: bandwidth-constrained devices compress their model
+// updates (8-bit quantization / top-k sparsification with error feedback)
+// while the server biases selection toward struggling clients
+// (power-of-choice). Together these extensions shrink upload volume by an
+// order of magnitude at minor accuracy cost — the communication-efficiency
+// directions from the paper's related work, composed with its federated
+// runtime.
+//
+//	go run ./examples/efficient_uplink
+package main
+
+import (
+	"fmt"
+
+	rfedavg "repro"
+)
+
+func main() {
+	train := rfedavg.SynthMNIST(3000, 1)
+	test := rfedavg.SynthMNIST(800, 2)
+	shards := rfedavg.SplitBySimilarity(train, 20, 0, 13)
+
+	base := rfedavg.Config{
+		Builder:     rfedavg.NewImageCNN(rfedavg.SynthMNISTSpec, 48),
+		ModelSeed:   7,
+		Seed:        11,
+		LocalSteps:  5,
+		BatchSize:   32,
+		SampleRatio: 0.25,
+		LR:          rfedavg.ConstLR(0.1),
+	}
+
+	type variant struct {
+		name    string
+		alg     func(numParams int) rfedavg.Algorithm
+		sampler rfedavg.Sampler
+	}
+	variants := []variant{
+		{"dense + uniform", func(p int) rfedavg.Algorithm { return rfedavg.NewFedAvg() }, rfedavg.Uniform},
+		{"8-bit + uniform", func(p int) rfedavg.Algorithm {
+			return rfedavg.NewCompressedFedAvg(rfedavg.NewQuantizer(8), true)
+		}, rfedavg.Uniform},
+		{"top-2% + uniform", func(p int) rfedavg.Algorithm {
+			return rfedavg.NewCompressedFedAvg(rfedavg.NewTopK(p/50), true)
+		}, rfedavg.Uniform},
+		{"8-bit + power-of-choice", func(p int) rfedavg.Algorithm {
+			return rfedavg.NewCompressedFedAvg(rfedavg.NewQuantizer(8), true)
+		}, rfedavg.NewPowerOfChoiceSampler(3)},
+	}
+
+	fmt.Println("20 devices, 25% participation, totally non-IID MNIST, 15 rounds:")
+	for _, v := range variants {
+		cfg := base
+		cfg.Sampler = v.sampler
+		fed := rfedavg.NewFederation(cfg, shards, test)
+		hist := rfedavg.Run(fed, v.alg(fed.NumParams()), 15)
+		up, _ := hist.TotalBytes()
+		fmt.Printf("  %-24s final acc %.4f  upload %6.2f MiB\n",
+			v.name, hist.FinalAccuracy(3), float64(up)/(1<<20))
+	}
+	fmt.Println("\nexpected shape: compressed uploads cost little accuracy for ~10-30× fewer bytes;")
+	fmt.Println("loss-biased sampling speeds early rounds on skewed data")
+}

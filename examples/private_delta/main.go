@@ -1,0 +1,42 @@
+// Differentially private δ: rFedAvg+ where every client clips its feature
+// map and adds Gaussian noise before sending it to the server (the paper's
+// privacy evaluation, Fig. 12, following Abadi et al.). Small noise leaves
+// accuracy untouched; large noise washes the regularizer's signal out.
+//
+//	go run ./examples/private_delta
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	rfedavg "repro"
+)
+
+func main() {
+	train := rfedavg.SynthMNIST(2000, 1)
+	test := rfedavg.SynthMNIST(600, 2)
+	shards := rfedavg.SplitBySimilarity(train, 8, 0, 13)
+	cfg := rfedavg.Config{
+		Builder:    rfedavg.NewImageCNN(rfedavg.SynthMNISTSpec, 48),
+		ModelSeed:  7,
+		Seed:       11,
+		LocalSteps: 5,
+		BatchSize:  50,
+		LR:         rfedavg.ConstLR(0.1),
+	}
+
+	fmt.Println("rFedAvg+ with the Gaussian mechanism on δ (clip C₀=1, batch L=50):")
+	for _, sigma := range []float64{0, 1, 5, 20, 100, 1000} {
+		alg := rfedavg.NewRFedAvgPlus(5e-3)
+		if sigma > 0 {
+			mech := rfedavg.NewGaussianMechanism(sigma, 1.0, cfg.BatchSize)
+			alg.NoiseDelta = func(delta []float64, rng *rand.Rand) { mech.Apply(delta, rng) }
+		}
+		fed := rfedavg.NewFederation(cfg, shards, test)
+		hist := rfedavg.Run(fed, alg, 12)
+		fmt.Printf("  σ₂ = %4.1f → final acc %.4f (best %.4f)\n",
+			sigma, hist.FinalAccuracy(3), hist.BestAccuracy())
+	}
+	fmt.Println("\nexpected shape: moderate σ₂ ≈ noiseless; accuracy collapses only once the noise\ndominates the averaged target (σ₂ ≈ 10³ here; the knee sits higher than in the paper\nbecause λ, d, and the √(N-1) noise averaging differ)")
+}

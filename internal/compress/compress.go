@@ -1,0 +1,229 @@
+// Package compress implements the gradient/update compression schemes from
+// the communication-efficiency literature the paper builds on (Konečný et
+// al.; sketching à la FetchSGD): stochastic uniform quantization (QSGD),
+// top-k sparsification, and count-sketch compression. They plug into the
+// federated runtime through the Compressor interface to trade accuracy for
+// upload volume — an extension the paper's related-work section motivates
+// but does not evaluate.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Compressor turns a dense vector into a compact wire form and back. The
+// round trip is lossy; Bytes reports the encoded size used for
+// communication accounting.
+type Compressor interface {
+	Name() string
+	// Compress returns an opaque payload for v.
+	Compress(v []float64, rng *rand.Rand) Payload
+}
+
+// Payload is a compressed vector.
+type Payload interface {
+	// Decompress reconstructs a dense vector of length n.
+	Decompress(n int) []float64
+	// Bytes is the wire size of the payload.
+	Bytes() int64
+}
+
+// --- Identity ---
+
+// Identity is the no-op compressor (dense float64).
+type Identity struct{}
+
+// Name returns "identity".
+func (Identity) Name() string { return "identity" }
+
+// Compress copies v.
+func (Identity) Compress(v []float64, rng *rand.Rand) Payload {
+	return densePayload(append([]float64(nil), v...))
+}
+
+type densePayload []float64
+
+func (p densePayload) Decompress(n int) []float64 {
+	if n != len(p) {
+		panic(fmt.Sprintf("compress: dense payload has %d values, want %d", len(p), n))
+	}
+	return append([]float64(nil), p...)
+}
+
+func (p densePayload) Bytes() int64 { return int64(8 * len(p)) }
+
+// --- Stochastic uniform quantization (QSGD) ---
+
+// Quantizer is QSGD-style stochastic uniform quantization with 2^Bits
+// levels per coordinate plus one float32 scale per vector. Unbiased:
+// E[Decompress] equals the input.
+type Quantizer struct {
+	Bits uint // levels = 2^Bits - 1; valid range [1, 16]
+}
+
+// NewQuantizer creates a b-bit quantizer.
+func NewQuantizer(bits uint) Quantizer {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: quantizer bits %d outside [1,16]", bits))
+	}
+	return Quantizer{Bits: bits}
+}
+
+// Name returns e.g. "q8".
+func (q Quantizer) Name() string { return fmt.Sprintf("q%d", q.Bits) }
+
+// Compress quantizes each coordinate to the grid {-L..L}·(max/L)
+// stochastically, preserving the expectation.
+func (q Quantizer) Compress(v []float64, rng *rand.Rand) Payload {
+	levels := int64(1)<<q.Bits - 1
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	p := &quantPayload{bits: q.Bits, scale: maxAbs, q: make([]int32, len(v))}
+	if maxAbs == 0 {
+		return p
+	}
+	for i, x := range v {
+		t := x / maxAbs * float64(levels) // in [-levels, levels]
+		lo := math.Floor(t)
+		frac := t - lo
+		qv := int64(lo)
+		if rng.Float64() < frac {
+			qv++
+		}
+		p.q[i] = int32(qv)
+	}
+	return p
+}
+
+type quantPayload struct {
+	bits  uint
+	scale float64
+	q     []int32
+}
+
+func (p *quantPayload) Decompress(n int) []float64 {
+	if n != len(p.q) {
+		panic(fmt.Sprintf("compress: quantized payload has %d values, want %d", len(p.q), n))
+	}
+	out := make([]float64, n)
+	if p.scale == 0 {
+		return out
+	}
+	levels := float64(int64(1)<<p.bits - 1)
+	for i, qv := range p.q {
+		out[i] = float64(qv) / levels * p.scale
+	}
+	return out
+}
+
+func (p *quantPayload) Bytes() int64 {
+	// bits+1 per coordinate (sign), packed, plus the float32 scale.
+	return int64((uint(len(p.q))*(p.bits+1)+7)/8) + 4
+}
+
+// --- Top-k sparsification ---
+
+// TopK keeps the k largest-magnitude coordinates and zeroes the rest.
+// Biased but communication-optimal per retained value.
+type TopK struct {
+	K int
+}
+
+// NewTopK creates a top-k sparsifier.
+func NewTopK(k int) TopK {
+	if k < 1 {
+		panic("compress: top-k needs k ≥ 1")
+	}
+	return TopK{K: k}
+}
+
+// Name returns e.g. "top64".
+func (t TopK) Name() string { return fmt.Sprintf("top%d", t.K) }
+
+// Compress selects the K largest |v_i|.
+func (t TopK) Compress(v []float64, rng *rand.Rand) Payload {
+	k := t.K
+	if k > len(v) {
+		k = len(v)
+	}
+	// Threshold via quickselect on magnitudes.
+	mags := make([]float64, len(v))
+	for i, x := range v {
+		mags[i] = math.Abs(x)
+	}
+	thresh := kthLargest(mags, k)
+	p := &sparsePayload{n: len(v)}
+	for i, x := range v {
+		if math.Abs(x) >= thresh && len(p.idx) < k {
+			p.idx = append(p.idx, int32(i))
+			p.val = append(p.val, x)
+		}
+	}
+	return p
+}
+
+type sparsePayload struct {
+	n   int
+	idx []int32
+	val []float64
+}
+
+func (p *sparsePayload) Decompress(n int) []float64 {
+	if n != p.n {
+		panic(fmt.Sprintf("compress: sparse payload for %d values, want %d", p.n, n))
+	}
+	out := make([]float64, n)
+	for i, ix := range p.idx {
+		out[ix] = p.val[i]
+	}
+	return out
+}
+
+func (p *sparsePayload) Bytes() int64 { return int64(len(p.idx))*(4+8) + 4 }
+
+// kthLargest returns the k-th largest value of xs (destructive).
+func kthLargest(xs []float64, k int) float64 {
+	if k >= len(xs) {
+		min := math.Inf(1)
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+	// Select index len-k in ascending order.
+	target := len(xs) - k
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		p := partition(xs, lo, hi)
+		switch {
+		case p == target:
+			return xs[p]
+		case p < target:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+	return xs[target]
+}
+
+func partition(xs []float64, lo, hi int) int {
+	pivot := xs[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[hi] = xs[hi], xs[i]
+	return i
+}

@@ -1,0 +1,259 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestIdentityRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := randVec(rng, 50)
+	p := Identity{}.Compress(v, rng)
+	back := p.Decompress(50)
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatal("identity must be exact")
+		}
+	}
+	if p.Bytes() != 400 {
+		t.Fatalf("identity bytes = %d", p.Bytes())
+	}
+}
+
+func TestQuantizerUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q := NewQuantizer(4)
+	v := []float64{0.3, -0.7, 1.0, 0.05, -0.001}
+	const trials = 20000
+	sum := make([]float64, len(v))
+	for trial := 0; trial < trials; trial++ {
+		back := q.Compress(v, rng).Decompress(len(v))
+		for i, x := range back {
+			sum[i] += x
+		}
+	}
+	for i := range v {
+		mean := sum[i] / trials
+		if math.Abs(mean-v[i]) > 0.01 {
+			t.Fatalf("coordinate %d: E[q(v)] = %v, want %v", i, mean, v[i])
+		}
+	}
+}
+
+func TestQuantizerErrorShrinksWithBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := randVec(rng, 500)
+	mse := func(bits uint) float64 {
+		back := NewQuantizer(bits).Compress(v, rng).Decompress(len(v))
+		s := 0.0
+		for i := range v {
+			d := back[i] - v[i]
+			s += d * d
+		}
+		return s / float64(len(v))
+	}
+	if e2, e8 := mse(2), mse(8); e8 >= e2 {
+		t.Fatalf("8-bit MSE %v should beat 2-bit %v", e8, e2)
+	}
+}
+
+func TestQuantizerBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := randVec(rng, 100)
+	p8 := NewQuantizer(8).Compress(v, rng)
+	// 9 bits/coord packed + 4-byte scale = ceil(900/8)+4 = 117.
+	if p8.Bytes() != 117 {
+		t.Fatalf("8-bit payload bytes = %d, want 117", p8.Bytes())
+	}
+	if p8.Bytes() >= Identity.Compress(Identity{}, v, rng).Bytes() {
+		t.Fatal("quantized payload should be smaller than dense")
+	}
+}
+
+func TestQuantizerZeroVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	back := NewQuantizer(8).Compress(make([]float64, 10), rng).Decompress(10)
+	for _, x := range back {
+		if x != 0 {
+			t.Fatal("zero vector must survive quantization")
+		}
+	}
+}
+
+func TestQuantizerRejectsBadBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0 bits")
+		}
+	}()
+	NewQuantizer(0)
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	v := []float64{0.1, -5, 0.2, 3, -0.05, 4}
+	back := NewTopK(3).Compress(v, rng).Decompress(len(v))
+	want := []float64{0, -5, 0, 3, 0, 4}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("top-3 = %v, want %v", back, want)
+		}
+	}
+}
+
+func TestTopKLargerThanInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := []float64{1, 2}
+	back := NewTopK(10).Compress(v, rng).Decompress(2)
+	if back[0] != 1 || back[1] != 2 {
+		t.Fatalf("k > n must be exact: %v", back)
+	}
+}
+
+func TestTopKBytesScaleWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := randVec(rng, 1000)
+	b10 := NewTopK(10).Compress(v, rng).Bytes()
+	b100 := NewTopK(100).Compress(v, rng).Bytes()
+	if b100 <= b10 || b100 >= 8*1000 {
+		t.Fatalf("bytes: k=10 → %d, k=100 → %d", b10, b100)
+	}
+}
+
+func TestCountSketchRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Sparse heavy hitters are the sketch's use case.
+	v := make([]float64, 2000)
+	v[17], v[900], v[1500] = 10, -7, 4
+	cs := NewCountSketch(5, 256, 1)
+	back := cs.Compress(v, rng).Decompress(len(v))
+	for _, i := range []int{17, 900, 1500} {
+		if math.Abs(back[i]-v[i]) > 1 {
+			t.Fatalf("heavy hitter %d recovered as %v, want %v", i, back[i], v[i])
+		}
+	}
+	// Mass elsewhere should be small.
+	noise := 0.0
+	for i, x := range back {
+		if i != 17 && i != 900 && i != 1500 {
+			noise += math.Abs(x)
+		}
+	}
+	if noise/float64(len(v)) > 0.5 {
+		t.Fatalf("sketch noise floor too high: %v", noise/float64(len(v)))
+	}
+}
+
+func TestCountSketchLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cs := NewCountSketch(5, 128, 2)
+	a, b := randVec(rng, 500), randVec(rng, 500)
+	pa := cs.Compress(a, rng).(*sketchPayload)
+	pb := cs.Compress(b, rng)
+	if err := pa.Merge(pb); err != nil {
+		t.Fatal(err)
+	}
+	sum := make([]float64, 500)
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	direct := cs.Compress(sum, rng).(*sketchPayload)
+	for i := range pa.table {
+		if math.Abs(pa.table[i]-direct.table[i]) > 1e-9 {
+			t.Fatal("sketch must be linear: merge != sketch of sum")
+		}
+	}
+}
+
+func TestCountSketchMergeRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := NewCountSketch(3, 64, 1).Compress(randVec(rng, 10), rng).(*sketchPayload)
+	b := NewCountSketch(3, 32, 1).Compress(randVec(rng, 10), rng)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched sketch merge accepted")
+	}
+	if err := a.Merge(densePayload{1}); err == nil {
+		t.Fatal("cross-type merge accepted")
+	}
+}
+
+func TestCountSketchBytesIndependentOfDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cs := NewCountSketch(5, 100, 3)
+	small := cs.Compress(randVec(rng, 10), rng).Bytes()
+	big := cs.Compress(randVec(rng, 10000), rng).Bytes()
+	if small != big || small != 5*100*8 {
+		t.Fatalf("sketch bytes: %d vs %d, want %d", small, big, 5*100*8)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Identity.Name(Identity{}) != "identity" ||
+		NewQuantizer(8).Name() != "q8" ||
+		NewTopK(64).Name() != "top64" ||
+		NewCountSketch(5, 256, 1).Name() != "sketch5x256" {
+		t.Fatal("compressor names")
+	}
+}
+
+// Property: every compressor's round trip preserves vector length and
+// produces finite values, and the decompressed top-k support is a subset of
+// the original support.
+func TestQuickCompressorSanity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		v := randVec(rng, n)
+		for _, c := range []Compressor{Identity{}, NewQuantizer(6), NewTopK(1 + n/4), NewCountSketch(3, 64, seed)} {
+			back := c.Compress(v, rng).Decompress(n)
+			if len(back) != n {
+				return false
+			}
+			for _, x := range back {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: kthLargest agrees with a sort-based definition.
+func TestQuickKthLargest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		k := 1 + rng.Intn(n)
+		v := randVec(rng, n)
+		cp := append([]float64(nil), v...)
+		got := kthLargest(cp, k)
+		// count how many are >= got: should be ≥ k, and count > got < k
+		ge, gt := 0, 0
+		for _, x := range v {
+			if x >= got {
+				ge++
+			}
+			if x > got {
+				gt++
+			}
+		}
+		return ge >= k && gt < k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

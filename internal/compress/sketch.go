@@ -1,0 +1,104 @@
+package compress
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CountSketch compresses a vector into an R×W sketch of counters
+// (FetchSGD-style): each coordinate is hashed into one counter per row with
+// a random sign, and recovered by the median of its signed counters. The
+// sketch is linear, so sketches of client updates can be averaged at the
+// server before decompression.
+type CountSketch struct {
+	Rows, Width int
+	Seed        int64
+}
+
+// NewCountSketch creates a sketch compressor. Memory/wire cost is
+// Rows·Width float64 values regardless of the input dimension.
+func NewCountSketch(rows, width int, seed int64) CountSketch {
+	if rows < 1 || width < 1 {
+		panic(fmt.Sprintf("compress: invalid sketch %dx%d", rows, width))
+	}
+	return CountSketch{Rows: rows, Width: width, Seed: seed}
+}
+
+// Name returns e.g. "sketch5x256".
+func (c CountSketch) Name() string { return fmt.Sprintf("sketch%dx%d", c.Rows, c.Width) }
+
+// hash maps (row, index) deterministically to (bucket, sign). A multiply-
+// xorshift mix keyed by the sketch seed gives the pairwise independence the
+// estimator needs in practice.
+func (c CountSketch) hash(row, i int) (bucket int, sign float64) {
+	x := uint64(i)*0x9E3779B97F4A7C15 + uint64(row)*0xBF58476D1CE4E5B9 + uint64(c.Seed)*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	bucket = int(x % uint64(c.Width))
+	if (x>>63)&1 == 1 {
+		return bucket, -1
+	}
+	return bucket, 1
+}
+
+// Compress sketches v.
+func (c CountSketch) Compress(v []float64, rng *rand.Rand) Payload {
+	p := &sketchPayload{cfg: c, table: make([]float64, c.Rows*c.Width)}
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		for r := 0; r < c.Rows; r++ {
+			b, s := c.hash(r, i)
+			p.table[r*c.Width+b] += s * x
+		}
+	}
+	return p
+}
+
+type sketchPayload struct {
+	cfg   CountSketch
+	table []float64
+}
+
+// Decompress estimates each coordinate as the median of its signed
+// counters.
+func (p *sketchPayload) Decompress(n int) []float64 {
+	out := make([]float64, n)
+	est := make([]float64, p.cfg.Rows)
+	for i := 0; i < n; i++ {
+		for r := 0; r < p.cfg.Rows; r++ {
+			b, s := p.cfg.hash(r, i)
+			est[r] = s * p.table[r*p.cfg.Width+b]
+		}
+		out[i] = medianOf(est)
+	}
+	return out
+}
+
+func (p *sketchPayload) Bytes() int64 { return int64(8 * len(p.table)) }
+
+// Merge adds another sketch with the same configuration into p (linearity),
+// enabling server-side aggregation in sketch space.
+func (p *sketchPayload) Merge(other Payload) error {
+	o, ok := other.(*sketchPayload)
+	if !ok || o.cfg != p.cfg {
+		return fmt.Errorf("compress: cannot merge mismatched sketches")
+	}
+	for i, v := range o.table {
+		p.table[i] += v
+	}
+	return nil
+}
+
+func medianOf(xs []float64) float64 {
+	// Insertion sort on a copy: R is tiny (3–7).
+	buf := append([]float64(nil), xs...)
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+		}
+	}
+	return buf[len(buf)/2]
+}

@@ -1,0 +1,182 @@
+// Package core implements the paper's contribution: the maximum mean
+// discrepancy (MMD) distribution regularizer for federated learning on
+// non-IID data (Eqs. 2–5) and the two communication-efficient algorithms
+// that optimize it with delayed feature maps — rFedAvg (Algorithm 1) and
+// rFedAvg+ (Algorithm 2).
+//
+// The feature mapping φ(·; w̃) is the model's feature extractor (everything
+// up to the last FC layer); a client's local map is
+// δ^k = (1/n_k)·Σ_j φ(x_{k,j}), and the empirical MMD between clients i and
+// j is ‖δ^i - δ^j‖. The regularizer for client k is the mean squared MMD to
+// all other clients, which both algorithms approximate with *delayed* maps
+// so that no pairwise client communication is needed inside local training.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MMD returns the empirical maximum mean discrepancy ‖mean(a) - mean(b)‖
+// between two feature matrices of shape (n, d) — Eq. (2) with the explicit
+// feature map φ already applied.
+func MMD(a, b *tensor.Tensor) float64 {
+	return math.Sqrt(MMDSquaredMeans(tensor.ColMean(a), tensor.ColMean(b)))
+}
+
+// MMDSquaredMeans returns ‖δa - δb‖² for two feature means.
+func MMDSquaredMeans(da, db []float64) float64 {
+	if len(da) != len(db) {
+		panic(fmt.Sprintf("core: MMD dims %d vs %d", len(da), len(db)))
+	}
+	s := 0.0
+	for i := range da {
+		d := da[i] - db[i]
+		s += d * d
+	}
+	return s
+}
+
+// ComputeDelta evaluates δ = (1/n)·Σ φ(x_j) over all of ds with the
+// network's current parameters, batching to bound memory (line 10 of
+// Algorithm 1 / line 15 of Algorithm 2).
+func ComputeDelta(net *nn.Network, ds *data.Dataset, batch int) []float64 {
+	if batch <= 0 {
+		batch = 256
+	}
+	n := ds.Len()
+	sum := make([]float64, net.FeatureDim)
+	idx := make([]int, 0, batch)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		idx = idx[:0]
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		x, _ := ds.Gather(idx)
+		feat := net.Features(x)
+		for r := 0; r < feat.Dim(0); r++ {
+			for j, v := range feat.Row(r) {
+				sum[j] += v
+			}
+		}
+	}
+	inv := 1 / float64(n)
+	for j := range sum {
+		sum[j] *= inv
+	}
+	return sum
+}
+
+// RegLoss returns λ·‖δ_batch - target‖², the regularizer value for one
+// batch's feature activations against a delayed target (the form r̃_k whose
+// gradient equals the pairwise form r_k's — see Sec. IV-C).
+func RegLoss(feat *tensor.Tensor, target []float64, lambda float64) float64 {
+	return lambda * MMDSquaredMeans(tensor.ColMean(feat), target)
+}
+
+// RegFeatureGrad returns the gradient of λ·‖δ_batch - target‖² with respect
+// to the batch's feature activations: every row receives
+// (2λ/B)·(δ_batch - target). This is the extra feature-level gradient the
+// local step of both rFedAvg and rFedAvg+ injects (line 9 of Algorithms
+// 1–2).
+func RegFeatureGrad(feat *tensor.Tensor, target []float64, lambda float64) *tensor.Tensor {
+	b, d := feat.Dim(0), feat.Dim(1)
+	if len(target) != d {
+		panic(fmt.Sprintf("core: target dim %d vs feature dim %d", len(target), d))
+	}
+	mean := tensor.ColMean(feat)
+	rowGrad := make([]float64, d)
+	scale := 2 * lambda / float64(b)
+	for j := range rowGrad {
+		rowGrad[j] = scale * (mean[j] - target[j])
+	}
+	grad := tensor.New(b, d)
+	for r := 0; r < b; r++ {
+		copy(grad.Row(r), rowGrad)
+	}
+	return grad
+}
+
+// DeltaTable is the server-side table of client maps
+// δ = (δ¹, δ², …, δᴺ) that rFedAvg broadcasts (line 13 of Algorithm 1).
+type DeltaTable struct {
+	N, Dim int
+	rows   [][]float64
+}
+
+// NewDeltaTable creates an all-zero table for n clients with d-dimensional
+// maps (the server's initialization of δ_0).
+func NewDeltaTable(n, d int) *DeltaTable {
+	t := &DeltaTable{N: n, Dim: d, rows: make([][]float64, n)}
+	for i := range t.rows {
+		t.rows[i] = make([]float64, d)
+	}
+	return t
+}
+
+// Set replaces client k's map.
+func (t *DeltaTable) Set(k int, delta []float64) {
+	if len(delta) != t.Dim {
+		panic(fmt.Sprintf("core: delta dim %d vs table dim %d", len(delta), t.Dim))
+	}
+	copy(t.rows[k], delta)
+}
+
+// Get returns client k's map (read-only view).
+func (t *DeltaTable) Get(k int) []float64 { return t.rows[k] }
+
+// MeanExcluding returns (1/(N-1))·Σ_{j≠k} δ^j, the delayed target for
+// client k. With the pairwise regularizer r_k = (1/(N-1))·Σ_j ‖δ^k - δ^j‖²,
+// the gradient with respect to δ^k is 2·(δ^k - MeanExcluding(k)), so both
+// rFedAvg (which materializes the whole table) and rFedAvg+ (which only
+// ever ships this average — its r̃_k) share this target.
+func (t *DeltaTable) MeanExcluding(k int) []float64 {
+	out := make([]float64, t.Dim)
+	if t.N < 2 {
+		return out
+	}
+	for j, row := range t.rows {
+		if j == k {
+			continue
+		}
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	inv := 1 / float64(t.N-1)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// PairwiseObjective returns (1/(N-1))·Σ_{j≠k} ‖δ^k - δ^j‖², the exact
+// regularizer value r_k of Eq. (5) evaluated on the table.
+func (t *DeltaTable) PairwiseObjective(k int) float64 {
+	if t.N < 2 {
+		return 0
+	}
+	s := 0.0
+	for j, row := range t.rows {
+		if j == k {
+			continue
+		}
+		s += MMDSquaredMeans(t.rows[k], row)
+	}
+	return s / float64(t.N-1)
+}
+
+// TightObjective returns r̃_k = ‖δ^k - MeanExcluding(k)‖², the rFedAvg+
+// form; by convexity it lower-bounds PairwiseObjective and has the same
+// gradient with respect to δ^k.
+func (t *DeltaTable) TightObjective(k int) float64 {
+	return MMDSquaredMeans(t.rows[k], t.MeanExcluding(k))
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/fl"
+	"repro/internal/tensor"
+)
+
+// RFedAvgPlus implements Algorithm 2 of the paper. It fixes rFedAvg's two
+// shortcomings with a *double synchronization* per round:
+//
+//  1. Clients train against the precomputed average map
+//     δ̄^{-k} = (1/(N-1))·Σ_{j≠k} δ^j — the server ships O(d) per client
+//     instead of the O(N·d) table, cutting total communication from
+//     O(dN²) to O(dN). The corresponding objective r̃_k = ‖δ^k - δ̄^{-k}‖²
+//     has the same gradient as the pairwise r_k and lower-bounds it.
+//  2. After aggregation the server sends the *new global* model back, and
+//     every client recomputes its map with that consistent model — so the
+//     delayed maps of the next round all come from one set of parameters,
+//     which is what makes the constant C₂ in Theorem 1 smaller than
+//     rFedAvg's C₃ in Theorem 2.
+type RFedAvgPlus struct {
+	// Lambda is the regularization weight λ.
+	Lambda float64
+	// DeltaBatch bounds the batch used for computing δ; 0 means 256.
+	DeltaBatch int
+	// NoiseDelta, if non-nil, perturbs a client's map in place before it is
+	// sent to the server (privacy evaluation, Fig. 12).
+	NoiseDelta func(delta []float64, rng *rand.Rand)
+
+	f      *fl.Federation
+	global []float64
+	table  *DeltaTable
+	// avgMinus[k] caches δ̄^{-k} for the next round's broadcast.
+	avgMinus [][]float64
+}
+
+// NewRFedAvgPlus creates Algorithm 2 with regularization weight λ.
+func NewRFedAvgPlus(lambda float64) *RFedAvgPlus { return &RFedAvgPlus{Lambda: lambda} }
+
+// Name returns "rFedAvg+".
+func (a *RFedAvgPlus) Name() string { return "rFedAvg+" }
+
+// Setup initializes the global model, the zero table, and zero targets.
+func (a *RFedAvgPlus) Setup(f *fl.Federation) {
+	a.f = f
+	a.global = f.InitialParams()
+	n, d := len(f.Clients), f.FeatureDim()
+	a.table = NewDeltaTable(n, d)
+	a.avgMinus = make([][]float64, n)
+	for k := range a.avgMinus {
+		a.avgMinus[k] = make([]float64, d)
+	}
+}
+
+// GlobalParams returns the current global model.
+func (a *RFedAvgPlus) GlobalParams() []float64 { return a.global }
+
+// Table exposes the server's δ table (read-only use in tests/experiments).
+func (a *RFedAvgPlus) Table() *DeltaTable { return a.table }
+
+// Round runs one rFedAvg+ communication round (lines 4–18 of Algorithm 2).
+func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
+	f := a.f
+	global := a.global
+
+	// First communication: w_cE and δ̄^{-k} down; local training; w back up.
+	outs := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
+		w.LoadModel(global)
+		target := a.avgMinus[c.ID] // received precomputed: O(d) per step, not O(N·d)
+		o := f.DefaultLocalOpts(round)
+		o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor {
+			return RegFeatureGrad(feat, target, a.Lambda)
+		}
+		loss := f.LocalTrain(w, c, rng, o)
+		return fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
+	})
+	a.global = fl.WeightedAverage(outs)
+
+	// Second communication (lines 13–16): the server sends the *new global*
+	// model; every sampled client recomputes its map with it.
+	newGlobal := a.global
+	deltaOuts := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
+		w.Net().SetFlat(newGlobal)
+		delta := ComputeDelta(w.Net(), c.Data, a.DeltaBatch)
+		if a.NoiseDelta != nil {
+			a.NoiseDelta(delta, rng)
+		}
+		return fl.ClientOut{Client: c, Aux: delta}
+	})
+	for _, out := range deltaOuts {
+		a.table.Set(out.Client.ID, out.Aux)
+	}
+	// Lines 17–18: the server precomputes next round's per-client averages.
+	for k := range a.avgMinus {
+		a.avgMinus[k] = a.table.MeanExcluding(k)
+	}
+
+	p := int64(len(sampled))
+	d := f.FeatureDim()
+	return fl.RoundResult{
+		TrainLoss:    fl.MeanLoss(outs),
+		ClientLosses: fl.LossMap(outs),
+		// Down: (model + average map) in sync #1, model again in sync #2.
+		DownBytes: p * (2*fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
+		// Up: model in sync #1, own map in sync #2.
+		UpBytes: p * (fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
+	}
+}

@@ -1,0 +1,96 @@
+// Package data provides the dataset abstraction, non-IID partitioners, and
+// the four synthetic benchmark generators that stand in for MNIST, CIFAR10,
+// Sent140, and FEMNIST in this offline reproduction (see DESIGN.md for the
+// substitution rationale). All generation is deterministic given a seed.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dataset is a supervised dataset: a (n, features) design matrix, integer
+// labels, and (for naturally federated datasets) the user each sample
+// belongs to.
+type Dataset struct {
+	X       *tensor.Tensor
+	Y       []int
+	Classes int
+	// Users[i] is the id of the user who produced sample i, or nil for
+	// datasets without a natural user structure.
+	Users []int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Dim(0) }
+
+// Features returns the width of the design matrix.
+func (d *Dataset) Features() int { return d.X.Dim(1) }
+
+// Gather copies the rows at idx into a fresh (len(idx), features) batch.
+func (d *Dataset) Gather(idx []int) (*tensor.Tensor, []int) {
+	w := d.Features()
+	x := tensor.New(len(idx), w)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		copy(x.Row(i), d.X.Row(j))
+		y[i] = d.Y[j]
+	}
+	return x, y
+}
+
+// Subset materializes the samples at idx as a standalone dataset.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	x, y := d.Gather(idx)
+	sub := &Dataset{X: x, Y: y, Classes: d.Classes}
+	if d.Users != nil {
+		sub.Users = make([]int, len(idx))
+		for i, j := range idx {
+			sub.Users[i] = d.Users[j]
+		}
+	}
+	return sub
+}
+
+// RandomBatch samples a batch of min(b, Len) distinct indices uniformly
+// without replacement — the ξ_t of the paper's local SGD step.
+func (d *Dataset) RandomBatch(rng *rand.Rand, b int) []int {
+	n := d.Len()
+	if b >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return rng.Perm(n)[:b]
+}
+
+// ClassCounts returns a histogram of labels, used by tests and by the
+// partitioners' invariant checks.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.Classes)
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Validate checks internal consistency and returns an error describing the
+// first violation found.
+func (d *Dataset) Validate() error {
+	if len(d.Y) != d.Len() {
+		return fmt.Errorf("data: %d labels for %d samples", len(d.Y), d.Len())
+	}
+	if d.Users != nil && len(d.Users) != d.Len() {
+		return fmt.Errorf("data: %d user ids for %d samples", len(d.Users), d.Len())
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("data: label %d at sample %d outside %d classes", y, i, d.Classes)
+		}
+	}
+	return nil
+}

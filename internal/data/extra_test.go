@@ -1,0 +1,167 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGlyphPrototypesDistinct verifies the procedural prototypes differ
+// across classes (otherwise classification is impossible).
+func TestGlyphPrototypesDistinct(t *testing.T) {
+	seen := map[[glyphGrid * glyphGrid]float64]int{}
+	for c := 0; c < 62; c++ {
+		p := glyphPrototype(c)
+		var key [glyphGrid * glyphGrid]float64
+		for y := 0; y < glyphGrid; y++ {
+			for x := 0; x < glyphGrid; x++ {
+				key[y*glyphGrid+x] = p[y][x]
+			}
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("classes %d and %d share a prototype", prev, c)
+		}
+		seen[key] = c
+	}
+}
+
+// TestGlyphPrototypeDeterministic: prototypes depend only on the class id.
+func TestGlyphPrototypeDeterministic(t *testing.T) {
+	a, b := glyphPrototype(7), glyphPrototype(7)
+	if a != b {
+		t.Fatal("glyph prototypes must be deterministic")
+	}
+}
+
+// TestWriterStyleMattersMoreThanInstanceNoise: in SynthFEMNIST, two
+// renderings of the same class by the same writer should be closer on
+// average than renderings of that class by different writers — the feature
+// skew PartitionByUser exposes.
+func TestWriterStyleMattersMoreThanInstanceNoise(t *testing.T) {
+	ds := SynthFEMNIST(12, 60, 3)
+	byWriterClass := map[[2]int][][]float64{}
+	for i := 0; i < ds.Len(); i++ {
+		key := [2]int{ds.Users[i], ds.Y[i]}
+		byWriterClass[key] = append(byWriterClass[key], ds.X.Row(i))
+	}
+	dist := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return s
+	}
+	within, cross := 0.0, 0.0
+	nWithin, nCross := 0, 0
+	for class := 0; class < 10; class++ {
+		// Within: same writer, same class.
+		for w := 0; w < 12; w++ {
+			rows := byWriterClass[[2]int{w, class}]
+			for i := 0; i+1 < len(rows); i += 2 {
+				within += dist(rows[i], rows[i+1])
+				nWithin++
+			}
+		}
+		// Cross: different writers, same class.
+		for w := 0; w+1 < 12; w += 2 {
+			a := byWriterClass[[2]int{w, class}]
+			b := byWriterClass[[2]int{w + 1, class}]
+			for i := 0; i < len(a) && i < len(b); i++ {
+				cross += dist(a[i], b[i])
+				nCross++
+			}
+		}
+	}
+	if nWithin < 20 || nCross < 20 {
+		t.Skip("not enough pairs sampled")
+	}
+	within /= float64(nWithin)
+	cross /= float64(nCross)
+	if cross <= within {
+		t.Fatalf("writer style should add distance: within %v, cross %v", within, cross)
+	}
+}
+
+// TestSimilarityMonotoneClassSpread: higher similarity s should monotonely
+// increase the average number of classes per client.
+func TestSimilarityMonotoneClassSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, classes, clients := 3000, 10, 10
+	y := labelsMod(n, classes)
+	avgClasses := func(s float64) float64 {
+		p := PartitionBySimilarity(y, clients, s, rng)
+		total := 0
+		for _, idx := range p {
+			seen := map[int]bool{}
+			for _, i := range idx {
+				seen[y[i]] = true
+			}
+			total += len(seen)
+		}
+		return float64(total) / float64(clients)
+	}
+	prev := -1.0
+	for _, s := range []float64{0, 0.25, 0.5, 1.0} {
+		cur := avgClasses(s)
+		if cur < prev {
+			t.Fatalf("class spread not monotone at s=%v: %v < %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestSent140LabelsCorrelateWithPolarity: the label must be predictable
+// from content (else no model could learn it).
+func TestSent140LabelsCorrelateWithPolarity(t *testing.T) {
+	v := newSent140Vocab()
+	ds := SynthSent140(30, 60, 5)
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		mean := 0.0
+		for _, tok := range ds.X.Row(i) {
+			mean += v.polarity[int(tok)]
+		}
+		mean /= float64(SynthSent140Spec.T)
+		pred := 0
+		if mean > 0 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Len())
+	// The oracle content rule should get well above chance but below 100%
+	// (label noise + per-user thresholds put a ceiling in the 70s-80s).
+	if acc < 0.65 || acc > 0.95 {
+		t.Fatalf("polarity-oracle accuracy %v outside (0.65, 0.95)", acc)
+	}
+}
+
+// TestSubsetPreservesUsers verifies user ids travel with subsets.
+func TestSubsetPreservesUsers(t *testing.T) {
+	ds := SynthSent140(5, 10, 1)
+	sub := ds.Subset([]int{0, 11, 23})
+	if sub.Users == nil || len(sub.Users) != 3 {
+		t.Fatal("subset lost user ids")
+	}
+	if sub.Users[1] != ds.Users[11] {
+		t.Fatal("subset user mapping wrong")
+	}
+}
+
+// TestQuantitySkewSharesRoughlyZipf checks shares decay like the target
+// law.
+func TestQuantitySkewSharesRoughlyZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := PartitionQuantitySkew(10000, 8, 1.0, rng)
+	// share_k / share_{k+1} ≈ (k+2)/(k+1)
+	for k := 0; k+1 < 6; k++ {
+		ratio := float64(len(p[k])) / float64(len(p[k+1]))
+		want := float64(k+2) / float64(k+1)
+		if math.Abs(ratio-want) > 0.35*want {
+			t.Fatalf("share ratio %d/%d = %v, want ≈ %v", k, k+1, ratio, want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package data
+
+import "math/rand"
+
+// Procedural glyph rendering shared by SynthMNIST and SynthFEMNIST. Each
+// class is a fixed 7×7 stroke prototype (generated once from the class id),
+// rendered to a 14×14 grayscale image with per-instance jitter: sub-pixel
+// shift, stroke-intensity variation, and additive noise. SynthFEMNIST
+// additionally applies a per-writer style (thickness, shear, contrast) on
+// top, which is what makes the dataset naturally feature-skewed by writer.
+
+const (
+	glyphGrid = 7  // prototype resolution
+	glyphSize = 14 // rendered image side
+)
+
+// glyphPrototype deterministically generates the stroke prototype for a
+// class: a few random walks over the 7×7 grid, so prototypes are sparse,
+// connected, and visually distinct across classes.
+func glyphPrototype(class int) [glyphGrid][glyphGrid]float64 {
+	rng := rand.New(rand.NewSource(0x61f9 + int64(class)*7919))
+	var g [glyphGrid][glyphGrid]float64
+	for stroke := 0; stroke < 3; stroke++ {
+		y, x := rng.Intn(glyphGrid), rng.Intn(glyphGrid)
+		for step := 0; step < 6; step++ {
+			g[y][x] = 1
+			switch rng.Intn(4) {
+			case 0:
+				if y > 0 {
+					y--
+				}
+			case 1:
+				if y < glyphGrid-1 {
+					y++
+				}
+			case 2:
+				if x > 0 {
+					x--
+				}
+			default:
+				if x < glyphGrid-1 {
+					x++
+				}
+			}
+		}
+	}
+	return g
+}
+
+// glyphStyle is a writer-specific rendering style. The zero value is the
+// neutral style used by SynthMNIST.
+type glyphStyle struct {
+	thickness float64 // 0 = none; >0 dilates strokes with this weight
+	shear     float64 // horizontal shear per row, in pixels
+	contrast  float64 // multiplies stroke intensity (0 means 1.0)
+	noise     float64 // additive Gaussian noise std (0 means default)
+}
+
+// renderGlyph draws one instance of class into dst (len glyphSize²),
+// applying instance jitter from rng and the given style.
+func renderGlyph(dst []float64, proto *[glyphGrid][glyphGrid]float64, style glyphStyle, rng *rand.Rand) {
+	// Instance jitter.
+	dy := rng.Float64()*2 - 1 // sub-pixel shift in [-1, 1]
+	dx := rng.Float64()*2 - 1
+	intensity := 0.8 + rng.Float64()*0.4
+	if style.contrast != 0 {
+		intensity *= style.contrast
+	}
+	noise := 0.12
+	if style.noise != 0 {
+		noise = style.noise
+	}
+
+	scale := float64(glyphGrid) / float64(glyphSize)
+	for y := 0; y < glyphSize; y++ {
+		for x := 0; x < glyphSize; x++ {
+			// Map output pixel back to prototype coordinates with shift+shear.
+			sy := (float64(y)+dy)*scale - 0.5
+			sx := (float64(x)+dx+style.shear*(float64(y)-glyphSize/2))*scale - 0.5
+			v := bilinear(proto, sy, sx)
+			if style.thickness > 0 {
+				// Cheap dilation: blend in the max of the 4-neighborhood.
+				m := v
+				for _, d := range [4][2]float64{{-0.6, 0}, {0.6, 0}, {0, -0.6}, {0, 0.6}} {
+					if nv := bilinear(proto, sy+d[0], sx+d[1]); nv > m {
+						m = nv
+					}
+				}
+				v = v + style.thickness*(m-v)
+			}
+			p := v*intensity + rng.NormFloat64()*noise
+			if p < 0 {
+				p = 0
+			} else if p > 1 {
+				p = 1
+			}
+			dst[y*glyphSize+x] = p
+		}
+	}
+}
+
+// bilinear samples the prototype grid at fractional coordinates, treating
+// everything outside the grid as 0.
+func bilinear(g *[glyphGrid][glyphGrid]float64, y, x float64) float64 {
+	y0, x0 := int(y), int(x)
+	if y < 0 {
+		y0 = -1
+	}
+	if x < 0 {
+		x0 = -1
+	}
+	fy, fx := y-float64(y0), x-float64(x0)
+	at := func(yy, xx int) float64 {
+		if yy < 0 || yy >= glyphGrid || xx < 0 || xx >= glyphGrid {
+			return 0
+		}
+		return g[yy][xx]
+	}
+	return at(y0, x0)*(1-fy)*(1-fx) +
+		at(y0+1, x0)*fy*(1-fx) +
+		at(y0, x0+1)*(1-fy)*fx +
+		at(y0+1, x0+1)*fy*fx
+}

@@ -1,0 +1,255 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// A Partition assigns every sample index of a dataset to exactly one client.
+type Partition [][]int
+
+// NumSamples returns the total number of indices across all clients.
+func (p Partition) NumSamples() int {
+	n := 0
+	for _, idx := range p {
+		n += len(idx)
+	}
+	return n
+}
+
+// Weights returns p_k = n_k / n, the per-client aggregation weights from
+// Eq. (1) of the paper.
+func (p Partition) Weights() []float64 {
+	total := float64(p.NumSamples())
+	w := make([]float64, len(p))
+	for k, idx := range p {
+		w[k] = float64(len(idx)) / total
+	}
+	return w
+}
+
+// Validate checks that the partition covers [0, n) exactly once and that no
+// client is empty.
+func (p Partition) Validate(n int) error {
+	seen := make([]bool, n)
+	count := 0
+	for k, idx := range p {
+		if len(idx) == 0 {
+			return fmt.Errorf("data: client %d has no samples", k)
+		}
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				return fmt.Errorf("data: client %d holds out-of-range index %d", k, i)
+			}
+			if seen[i] {
+				return fmt.Errorf("data: index %d assigned twice", i)
+			}
+			seen[i] = true
+			count++
+		}
+	}
+	if count != n {
+		return fmt.Errorf("data: partition covers %d of %d samples", count, n)
+	}
+	return nil
+}
+
+// PartitionIID shuffles all n indices and deals them evenly to clients.
+func PartitionIID(n, clients int, rng *rand.Rand) Partition {
+	perm := rng.Perm(n)
+	return dealRoundRobin(perm, clients)
+}
+
+// PartitionBySimilarity implements the paper's non-IID split (following
+// SCAFFOLD): a fraction s ∈ [0,1] of the data is allocated IID; the
+// remaining samples are sorted by label and dealt to clients in contiguous
+// shards, so each client's skewed portion covers only a few classes.
+// s = 1 is the IID setting, s = 0 the totally non-IID setting.
+func PartitionBySimilarity(y []int, clients int, s float64, rng *rand.Rand) Partition {
+	if s < 0 || s > 1 {
+		panic(fmt.Sprintf("data: similarity %v outside [0,1]", s))
+	}
+	n := len(y)
+	perm := rng.Perm(n)
+	nIID := int(math.Round(s * float64(n)))
+
+	parts := make(Partition, clients)
+	// IID portion: deal round-robin.
+	for i := 0; i < nIID; i++ {
+		k := i % clients
+		parts[k] = append(parts[k], perm[i])
+	}
+	// Skewed portion: sort by label, deal contiguous shards.
+	rest := append([]int(nil), perm[nIID:]...)
+	sort.SliceStable(rest, func(a, b int) bool { return y[rest[a]] < y[rest[b]] })
+	shard := len(rest) / clients
+	extra := len(rest) % clients
+	off := 0
+	for k := 0; k < clients; k++ {
+		size := shard
+		if k < extra {
+			size++
+		}
+		parts[k] = append(parts[k], rest[off:off+size]...)
+		off += size
+	}
+	return parts
+}
+
+// PartitionDirichlet draws each client's class mixture from a symmetric
+// Dirichlet(alpha) distribution — the standard label-skew generator from
+// the FL literature; small alpha means heavy skew. Clients left empty by the
+// draw are topped up with one random sample from the largest client.
+func PartitionDirichlet(y []int, classes, clients int, alpha float64, rng *rand.Rand) Partition {
+	byClass := make([][]int, classes)
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	parts := make(Partition, clients)
+	for _, idx := range byClass {
+		rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		props := dirichlet(rng, clients, alpha)
+		// Convert proportions to contiguous cut points over this class.
+		off := 0
+		for k := 0; k < clients; k++ {
+			size := int(math.Round(props[k] * float64(len(idx))))
+			if k == clients-1 {
+				size = len(idx) - off
+			}
+			if off+size > len(idx) {
+				size = len(idx) - off
+			}
+			parts[k] = append(parts[k], idx[off:off+size]...)
+			off += size
+		}
+	}
+	// Repair empty clients so Partition.Validate holds.
+	for k := range parts {
+		if len(parts[k]) == 0 {
+			donor := 0
+			for j := range parts {
+				if len(parts[j]) > len(parts[donor]) {
+					donor = j
+				}
+			}
+			last := len(parts[donor]) - 1
+			parts[k] = append(parts[k], parts[donor][last])
+			parts[donor] = parts[donor][:last]
+		}
+	}
+	return parts
+}
+
+// PartitionByUser groups samples by their natural user id and assigns one
+// user per client. If there are more users than clients, a random subset of
+// users is kept (the paper "samples 500 users directly from the dataset").
+func PartitionByUser(users []int, clients int, rng *rand.Rand) Partition {
+	byUser := map[int][]int{}
+	var order []int
+	for i, u := range users {
+		if _, ok := byUser[u]; !ok {
+			order = append(order, u)
+		}
+		byUser[u] = append(byUser[u], i)
+	}
+	if len(order) < clients {
+		panic(fmt.Sprintf("data: %d users cannot fill %d clients", len(order), clients))
+	}
+	sort.Ints(order) // deterministic base order before sampling
+	rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	parts := make(Partition, clients)
+	for k := 0; k < clients; k++ {
+		parts[k] = byUser[order[k]]
+	}
+	return parts
+}
+
+// PartitionQuantitySkew deals shuffled indices with client shares following
+// a Zipf-like law (client k+1 gets share ∝ 1/(k+1)^s), producing the
+// quantity skew found in naturally federated datasets. Every client
+// receives at least one sample.
+func PartitionQuantitySkew(n, clients int, s float64, rng *rand.Rand) Partition {
+	perm := rng.Perm(n)
+	weights := make([]float64, clients)
+	total := 0.0
+	for k := range weights {
+		weights[k] = 1 / math.Pow(float64(k+1), s)
+		total += weights[k]
+	}
+	parts := make(Partition, clients)
+	off := 0
+	for k := 0; k < clients; k++ {
+		size := int(float64(n) * weights[k] / total)
+		if size < 1 {
+			size = 1
+		}
+		if k == clients-1 || off+size > n-(clients-1-k) {
+			size = n - off - (clients - 1 - k) // leave one per remaining client
+		}
+		parts[k] = append(parts[k], perm[off:off+size]...)
+		off += size
+	}
+	return parts
+}
+
+func dealRoundRobin(idx []int, clients int) Partition {
+	parts := make(Partition, clients)
+	for i, v := range idx {
+		k := i % clients
+		parts[k] = append(parts[k], v)
+	}
+	return parts
+}
+
+// dirichlet draws one sample from a symmetric Dirichlet(alpha) using the
+// Gamma(alpha, 1) representation (Marsaglia–Tsang for alpha ≥ 1, boosted for
+// alpha < 1).
+func dirichlet(rng *rand.Rand, k int, alpha float64) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(k)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func gammaSample(rng *rand.Rand, alpha float64) float64 {
+	if alpha < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

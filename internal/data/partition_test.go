@@ -1,0 +1,289 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func labelsMod(n, classes int) []int {
+	y := make([]int, n)
+	for i := range y {
+		y[i] = i % classes
+	}
+	return y
+}
+
+func TestPartitionIIDCoversAndBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := PartitionIID(103, 10, rng)
+	if err := p.Validate(103); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range p {
+		if len(idx) < 10 || len(idx) > 11 {
+			t.Fatalf("unbalanced IID partition: client has %d samples", len(idx))
+		}
+	}
+}
+
+func TestPartitionIIDIsClassBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, classes, clients := 5000, 10, 10
+	y := labelsMod(n, classes)
+	p := PartitionIID(n, clients, rng)
+	for k, idx := range p {
+		counts := make([]int, classes)
+		for _, i := range idx {
+			counts[y[i]]++
+		}
+		for c, cnt := range counts {
+			frac := float64(cnt) / float64(len(idx))
+			if math.Abs(frac-0.1) > 0.05 {
+				t.Fatalf("client %d class %d fraction %v far from 0.1", k, c, frac)
+			}
+		}
+	}
+}
+
+func TestPartitionBySimilarityExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, classes, clients := 2000, 10, 10
+	y := labelsMod(n, classes)
+
+	// s = 0: totally non-IID — each client should see very few classes.
+	p0 := PartitionBySimilarity(y, clients, 0, rng)
+	if err := p0.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	for k, idx := range p0 {
+		seen := map[int]bool{}
+		for _, i := range idx {
+			seen[y[i]] = true
+		}
+		if len(seen) > 3 {
+			t.Fatalf("similarity 0: client %d sees %d classes, want ≤ 3", k, len(seen))
+		}
+	}
+
+	// s = 1: IID — each client sees all classes.
+	p1 := PartitionBySimilarity(y, clients, 1, rng)
+	if err := p1.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	for k, idx := range p1 {
+		seen := map[int]bool{}
+		for _, i := range idx {
+			seen[y[i]] = true
+		}
+		if len(seen) != classes {
+			t.Fatalf("similarity 1: client %d sees %d classes, want %d", k, len(seen), classes)
+		}
+	}
+}
+
+func TestPartitionBySimilarityMidpointMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, classes, clients := 2000, 10, 10
+	y := labelsMod(n, classes)
+	p := PartitionBySimilarity(y, clients, 0.1, rng)
+	if err := p.Validate(n); err != nil {
+		t.Fatal(err)
+	}
+	// With 10% IID data every client should see most classes, but with a
+	// heavily skewed histogram (dominant class ≫ uniform share).
+	for k, idx := range p {
+		counts := make([]int, classes)
+		for _, i := range idx {
+			counts[y[i]]++
+		}
+		nonzero, maxc := 0, 0
+		for _, c := range counts {
+			if c > 0 {
+				nonzero++
+			}
+			if c > maxc {
+				maxc = c
+			}
+		}
+		if nonzero < classes/2 {
+			t.Fatalf("similarity 10%%: client %d sees only %d classes", k, nonzero)
+		}
+		if float64(maxc)/float64(len(idx)) < 0.3 {
+			t.Fatalf("similarity 10%%: client %d dominant class fraction %v too IID", k, float64(maxc)/float64(len(idx)))
+		}
+	}
+}
+
+func TestPartitionDirichletSkewByAlpha(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, classes, clients := 4000, 10, 8
+	y := labelsMod(n, classes)
+
+	skew := func(alpha float64) float64 {
+		p := PartitionDirichlet(y, classes, clients, alpha, rng)
+		if err := p.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		// Mean over clients of the dominant-class fraction.
+		s := 0.0
+		for _, idx := range p {
+			counts := make([]int, classes)
+			for _, i := range idx {
+				counts[y[i]]++
+			}
+			maxc := 0
+			for _, c := range counts {
+				if c > maxc {
+					maxc = c
+				}
+			}
+			s += float64(maxc) / float64(len(idx))
+		}
+		return s / float64(clients)
+	}
+	low, high := skew(0.1), skew(100)
+	if low <= high {
+		t.Fatalf("Dirichlet skew should fall with alpha: alpha=0.1 → %v, alpha=100 → %v", low, high)
+	}
+	if high > 0.2 {
+		t.Fatalf("alpha=100 should be nearly uniform, dominant fraction %v", high)
+	}
+}
+
+func TestPartitionByUser(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	users := []int{0, 0, 1, 2, 2, 2, 3, 4, 4, 5}
+	p := PartitionByUser(users, 3, rng)
+	if len(p) != 3 {
+		t.Fatalf("got %d clients", len(p))
+	}
+	for k, idx := range p {
+		if len(idx) == 0 {
+			t.Fatalf("client %d empty", k)
+		}
+		u := users[idx[0]]
+		for _, i := range idx {
+			if users[i] != u {
+				t.Fatalf("client %d mixes users %d and %d", k, u, users[i])
+			}
+		}
+	}
+}
+
+func TestPartitionByUserTooFewUsersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when users < clients")
+		}
+	}()
+	PartitionByUser([]int{0, 0, 1}, 5, rand.New(rand.NewSource(7)))
+}
+
+func TestPartitionQuantitySkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	p := PartitionQuantitySkew(1000, 10, 1.0, rng)
+	if err := p.Validate(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(p[0]) <= len(p[9]) {
+		t.Fatalf("expected decreasing shares, got first=%d last=%d", len(p[0]), len(p[9]))
+	}
+	if float64(len(p[0]))/float64(len(p[9])) < 2 {
+		t.Fatalf("skew too weak: %d vs %d", len(p[0]), len(p[9]))
+	}
+}
+
+func TestPartitionWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := PartitionQuantitySkew(777, 7, 1.2, rng)
+	w := p.Weights()
+	sum := 0.0
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatalf("non-positive weight %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestPartitionValidateCatchesErrors(t *testing.T) {
+	if err := (Partition{{0, 1}, {1, 2}}).Validate(3); err == nil {
+		t.Fatal("duplicate index not caught")
+	}
+	if err := (Partition{{0, 1}, {}}).Validate(2); err == nil {
+		t.Fatal("empty client not caught")
+	}
+	if err := (Partition{{0}, {5}}).Validate(2); err == nil {
+		t.Fatal("out-of-range index not caught")
+	}
+	if err := (Partition{{0}}).Validate(2); err == nil {
+		t.Fatal("missing coverage not caught")
+	}
+}
+
+// Property: every partitioner yields a valid partition for arbitrary sizes.
+func TestQuickPartitionersAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clients := 2 + rng.Intn(8)
+		n := clients*4 + rng.Intn(200)
+		classes := 2 + rng.Intn(8)
+		y := labelsMod(n, classes)
+		s := rng.Float64()
+		if PartitionIID(n, clients, rng).Validate(n) != nil {
+			return false
+		}
+		if PartitionBySimilarity(y, clients, s, rng).Validate(n) != nil {
+			return false
+		}
+		if PartitionDirichlet(y, classes, clients, 0.3+rng.Float64()*5, rng).Validate(n) != nil {
+			return false
+		}
+		if PartitionQuantitySkew(n, clients, rng.Float64()*2, rng).Validate(n) != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletSamplesAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, alpha := range []float64{0.05, 0.5, 1, 10} {
+		for trial := 0; trial < 20; trial++ {
+			d := dirichlet(rng, 6, alpha)
+			sum := 0.0
+			for _, v := range d {
+				if v < 0 {
+					t.Fatalf("negative Dirichlet component %v (alpha=%v)", v, alpha)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("Dirichlet sums to %v (alpha=%v)", sum, alpha)
+			}
+		}
+	}
+}
+
+func TestGammaSampleMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, alpha := range []float64{0.5, 1, 3} {
+		sum := 0.0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += gammaSample(rng, alpha)
+		}
+		mean := sum / trials
+		if math.Abs(mean-alpha) > 0.1*alpha+0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v", alpha, mean)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestSynthMNISTBasics(t *testing.T) {
+	d := SynthMNIST(500, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 500 || d.Features() != SynthMNISTSpec.InFeatures() {
+		t.Fatalf("dims: %d × %d", d.Len(), d.Features())
+	}
+	for _, v := range d.X.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+	counts := d.ClassCounts()
+	for c, cnt := range counts {
+		if cnt < 20 {
+			t.Fatalf("class %d underrepresented: %d", c, cnt)
+		}
+	}
+}
+
+func TestSynthMNISTDeterministic(t *testing.T) {
+	a, b := SynthMNIST(50, 7), SynthMNIST(50, 7)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("same seed must reproduce pixels")
+		}
+	}
+	c := SynthMNIST(50, 8)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+// TestSynthMNISTClassesAreSeparated verifies the generator produces classes
+// whose mean images are far apart relative to intra-class spread, which is
+// the property that makes the task easy like real MNIST.
+func TestSynthMNISTClassesAreSeparated(t *testing.T) {
+	d := SynthMNIST(2000, 2)
+	dim := d.Features()
+	means := make([][]float64, d.Classes)
+	counts := make([]int, d.Classes)
+	for c := range means {
+		means[c] = make([]float64, dim)
+	}
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Row(i)
+		for j, v := range row {
+			means[d.Y[i]][j] += v
+		}
+		counts[d.Y[i]]++
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	// Nearest-mean classification on fresh data should beat 80%.
+	test := SynthMNIST(500, 3)
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		row := test.X.Row(i)
+		best, arg := math.Inf(1), -1
+		for c := range means {
+			s := 0.0
+			for j, v := range row {
+				dlt := v - means[c][j]
+				s += dlt * dlt
+			}
+			if s < best {
+				best, arg = s, c
+			}
+		}
+		if arg == test.Y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.8 {
+		t.Fatalf("nearest-mean accuracy %v, want ≥ 0.8 (task should be easy)", acc)
+	}
+}
+
+// TestSynthCIFARIsHarderThanMNIST checks the relative difficulty ordering
+// that drives the paper's narrative: the CIFAR stand-in must be much harder
+// for a linear-ish classifier than the MNIST stand-in.
+func TestSynthCIFARIsHarderThanMNIST(t *testing.T) {
+	nearestMeanAcc := func(train, test *Dataset) float64 {
+		dim := train.Features()
+		means := make([][]float64, train.Classes)
+		counts := make([]int, train.Classes)
+		for c := range means {
+			means[c] = make([]float64, dim)
+		}
+		for i := 0; i < train.Len(); i++ {
+			for j, v := range train.X.Row(i) {
+				means[train.Y[i]][j] += v
+			}
+			counts[train.Y[i]]++
+		}
+		for c := range means {
+			for j := range means[c] {
+				means[c][j] /= float64(counts[c])
+			}
+		}
+		correct := 0
+		for i := 0; i < test.Len(); i++ {
+			row := test.X.Row(i)
+			best, arg := math.Inf(1), -1
+			for c := range means {
+				s := 0.0
+				for j, v := range row {
+					d := v - means[c][j]
+					s += d * d
+				}
+				if s < best {
+					best, arg = s, c
+				}
+			}
+			if arg == test.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(test.Len())
+	}
+	mn := nearestMeanAcc(SynthMNIST(2000, 4), SynthMNIST(400, 5))
+	cf := nearestMeanAcc(SynthCIFAR(2000, 4), SynthCIFAR(400, 5))
+	if cf >= mn {
+		t.Fatalf("SynthCIFAR (%v) should be harder than SynthMNIST (%v)", cf, mn)
+	}
+	if cf < 0.15 {
+		t.Fatalf("SynthCIFAR nearest-mean accuracy %v — must still be learnable (> chance)", cf)
+	}
+}
+
+func TestSynthCIFARBasics(t *testing.T) {
+	d := SynthCIFAR(300, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Features() != 3*12*12 {
+		t.Fatalf("features = %d", d.Features())
+	}
+}
+
+func TestSynthSent140Basics(t *testing.T) {
+	d := SynthSent140(20, 30, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 600 || d.Features() != SynthSent140Spec.T {
+		t.Fatalf("dims: %d × %d", d.Len(), d.Features())
+	}
+	if d.Users == nil {
+		t.Fatal("Sent140 must carry user ids")
+	}
+	for _, v := range d.X.Data {
+		id := int(v)
+		if float64(id) != v || id < 0 || id >= SynthSent140Spec.Vocab {
+			t.Fatalf("invalid token id %v", v)
+		}
+	}
+	// Both labels present, neither dominating overwhelmingly.
+	counts := d.ClassCounts()
+	for c, cnt := range counts {
+		if cnt < d.Len()/10 {
+			t.Fatalf("label %d count %d too low", c, cnt)
+		}
+	}
+}
+
+// TestSynthSent140UsersHaveSkewedVocab verifies natural feature skew: two
+// users' token marginal distributions should differ far more than two halves
+// of one user's data.
+func TestSynthSent140UsersHaveSkewedVocab(t *testing.T) {
+	d := SynthSent140(10, 100, 2)
+	hist := func(lo, hi int, user int) []float64 {
+		h := make([]float64, SynthSent140Spec.Vocab)
+		n := 0
+		for i := lo; i < hi; i++ {
+			if d.Users[i] != user {
+				continue
+			}
+			for _, v := range d.X.Row(i) {
+				h[int(v)]++
+				n++
+			}
+		}
+		for j := range h {
+			h[j] /= float64(n)
+		}
+		return h
+	}
+	l1 := func(a, b []float64) float64 {
+		s := 0.0
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	// User 0 occupies indices [0,100), user 1 [100,200).
+	u0a, u0b := hist(0, 50, 0), hist(50, 100, 0)
+	u1 := hist(100, 200, 1)
+	within := l1(u0a, u0b)
+	between := l1(u0a, u1)
+	if between < within*1.5 {
+		t.Fatalf("user vocab skew too weak: within=%v between=%v", within, between)
+	}
+}
+
+func TestSynthFEMNISTBasics(t *testing.T) {
+	d := SynthFEMNIST(15, 20, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Users == nil {
+		t.Fatal("FEMNIST must carry writer ids")
+	}
+	if d.Classes != 62 {
+		t.Fatalf("classes = %d", d.Classes)
+	}
+	// Quantity skew: writers contribute different counts.
+	counts := map[int]int{}
+	for _, u := range d.Users {
+		counts[u]++
+	}
+	if len(counts) != 15 {
+		t.Fatalf("expected 15 writers, saw %d", len(counts))
+	}
+	minC, maxC := math.MaxInt, 0
+	for _, c := range counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC == maxC {
+		t.Fatal("no quantity skew across writers")
+	}
+}
+
+func TestGatherAndSubset(t *testing.T) {
+	d := SynthMNIST(30, 1)
+	idx := []int{5, 10, 29}
+	x, y := d.Gather(idx)
+	if x.Dim(0) != 3 {
+		t.Fatalf("gathered %d rows", x.Dim(0))
+	}
+	for i, j := range idx {
+		if y[i] != d.Y[j] {
+			t.Fatalf("label mismatch at %d", i)
+		}
+		for k := 0; k < d.Features(); k++ {
+			if x.Row(i)[k] != d.X.Row(j)[k] {
+				t.Fatalf("pixel mismatch at row %d col %d", i, k)
+			}
+		}
+	}
+	sub := d.Subset(idx)
+	if sub.Len() != 3 || sub.Classes != d.Classes {
+		t.Fatalf("subset dims %d classes %d", sub.Len(), sub.Classes)
+	}
+	// Subset must be a copy.
+	sub.X.Data[0] = -99
+	if d.X.Row(5)[0] == -99 {
+		t.Fatal("Subset must copy storage")
+	}
+}
+
+func TestRandomBatch(t *testing.T) {
+	d := SynthMNIST(20, 1)
+	rng := rand.New(rand.NewSource(1))
+	b := d.RandomBatch(rng, 8)
+	if len(b) != 8 {
+		t.Fatalf("batch size %d", len(b))
+	}
+	seen := map[int]bool{}
+	for _, i := range b {
+		if i < 0 || i >= 20 || seen[i] {
+			t.Fatalf("bad batch %v", b)
+		}
+		seen[i] = true
+	}
+	// Requesting more than n returns everything.
+	all := d.RandomBatch(rng, 100)
+	if len(all) != 20 {
+		t.Fatalf("oversized batch returned %d", len(all))
+	}
+}
+
+func TestDatasetValidateCatchesBadLabels(t *testing.T) {
+	d := &Dataset{X: tensor.New(2, 3), Y: []int{0, 5}, Classes: 2}
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-range label not caught")
+	}
+	d2 := &Dataset{X: tensor.New(2, 3), Y: []int{0}, Classes: 2}
+	if err := d2.Validate(); err == nil {
+		t.Fatal("label count mismatch not caught")
+	}
+}
+
+// TestSpecsMatchModels ensures each dataset's spec builds a working model.
+func TestSpecsMatchModels(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec nn.ImageSpec
+		d    *Dataset
+	}{
+		{"mnist", SynthMNISTSpec, SynthMNIST(4, 1)},
+		{"cifar", SynthCIFARSpec, SynthCIFAR(4, 1)},
+		{"femnist", SynthFEMNISTSpec, SynthFEMNIST(2, 4, 1)},
+	} {
+		net := nn.NewImageCNN(tc.spec, 16)(1)
+		x, y := tc.d.Gather([]int{0, 1})
+		_, logits := net.Forward(x, true)
+		if logits.Dim(1) != tc.spec.Classes {
+			t.Fatalf("%s: logits %v", tc.name, logits.Shape())
+		}
+		if _, g := nn.SoftmaxCrossEntropy(logits, y); g == nil {
+			t.Fatalf("%s: nil gradient", tc.name)
+		}
+	}
+	net := nn.NewTextLSTM(SynthSent140Spec, 8, 12, 16)(1)
+	d := SynthSent140(3, 4, 1)
+	x, _ := d.Gather([]int{0, 1})
+	_, logits := net.Forward(x, true)
+	if logits.Dim(1) != 2 {
+		t.Fatalf("sent140 logits %v", logits.Shape())
+	}
+}

@@ -1,0 +1,69 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SynthFEMNISTSpec describes the FEMNIST stand-in: 14×14 grayscale glyphs,
+// 62 classes (10 digits + 52 letters, as in Extended MNIST).
+var SynthFEMNISTSpec = nn.ImageSpec{C: 1, H: glyphSize, W: glyphSize, Classes: 62}
+
+// SynthFEMNIST generates the FEMNIST stand-in: every sample belongs to one
+// of numWriters writers, each writer renders glyphs with a personal style
+// (stroke thickness, shear, contrast, noise level) and contributes a
+// log-normally distributed number of samples — reproducing FEMNIST's
+// natural feature skew (handwriting style) and quantity skew. Partition
+// with PartitionByUser for the natural non-IID setting.
+func SynthFEMNIST(numWriters, meanPerWriter int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	protos := make([]*[glyphGrid][glyphGrid]float64, SynthFEMNISTSpec.Classes)
+	for c := range protos {
+		p := glyphPrototype(1000 + c) // offset so FEMNIST glyphs differ from SynthMNIST's
+		protos[c] = &p
+	}
+
+	// Draw per-writer sample counts first so storage can be allocated once.
+	counts := make([]int, numWriters)
+	total := 0
+	for w := range counts {
+		// Log-normal quantity skew clipped to [max(4, μ/4), 4μ].
+		c := int(float64(meanPerWriter) * math.Exp(rng.NormFloat64()*0.5-0.125))
+		lo := meanPerWriter / 4
+		if lo < 4 {
+			lo = 4
+		}
+		if c < lo {
+			c = lo
+		}
+		if c > meanPerWriter*4 {
+			c = meanPerWriter * 4
+		}
+		counts[w] = c
+		total += c
+	}
+
+	x := tensor.New(total, SynthFEMNISTSpec.InFeatures())
+	y := make([]int, total)
+	users := make([]int, total)
+	i := 0
+	for w := 0; w < numWriters; w++ {
+		style := glyphStyle{
+			thickness: rng.Float64() * 0.8,
+			shear:     (rng.Float64()*2 - 1) * 0.08,
+			contrast:  0.7 + rng.Float64()*0.6,
+			noise:     0.08 + rng.Float64()*0.12,
+		}
+		for s := 0; s < counts[w]; s++ {
+			c := rng.Intn(SynthFEMNISTSpec.Classes)
+			y[i] = c
+			users[i] = w
+			renderGlyph(x.Row(i), protos[c], style, rng)
+			i++
+		}
+	}
+	return &Dataset{X: x, Y: y, Classes: SynthFEMNISTSpec.Classes, Users: users}
+}

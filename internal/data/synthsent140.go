@@ -1,0 +1,111 @@
+package data
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// SynthSent140Spec describes the Sent140 stand-in: length-20 token
+// sequences over a 200-token vocabulary, binary sentiment.
+var SynthSent140Spec = nn.TextSpec{Vocab: 200, T: 20, Classes: 2}
+
+const sentTopics = 8
+
+// sent140Vocab holds the deterministic global structure of the synthetic
+// language: each token's sentiment polarity and each topic's token pool.
+type sent140Vocab struct {
+	polarity []float64 // per token, in [-1, 1]
+	topics   [][]int   // token ids per topic (overlapping pools)
+}
+
+func newSent140Vocab() *sent140Vocab {
+	rng := rand.New(rand.NewSource(0x5e14))
+	v := &sent140Vocab{
+		polarity: make([]float64, SynthSent140Spec.Vocab),
+		topics:   make([][]int, sentTopics),
+	}
+	for i := range v.polarity {
+		v.polarity[i] = rng.Float64()*2 - 1
+	}
+	poolSize := SynthSent140Spec.Vocab / 2
+	for t := range v.topics {
+		pool := rng.Perm(SynthSent140Spec.Vocab)[:poolSize]
+		v.topics[t] = pool
+	}
+	return v
+}
+
+// SynthSent140 generates the Sent140 stand-in: numUsers users, each with a
+// sparse preference over topics (so users' token marginals differ — natural
+// feature skew, like Twitter users writing about different things) and a
+// user-specific positivity bias (mild label skew). The label is determined
+// by the mean polarity of the tokens, with 5% label noise, so the task is
+// learnable from content alone by an LSTM.
+//
+// The returned dataset carries Users for PartitionByUser; pass it through
+// PartitionIID instead to get the paper's "shuffled" IID control.
+func SynthSent140(numUsers, samplesPerUser int, seed int64) *Dataset {
+	vocab := newSent140Vocab()
+	rng := rand.New(rand.NewSource(seed))
+	n := numUsers * samplesPerUser
+	x := tensor.New(n, SynthSent140Spec.T)
+	y := make([]int, n)
+	users := make([]int, n)
+
+	i := 0
+	for u := 0; u < numUsers; u++ {
+		// Each user writes within 2 preferred topics.
+		t1 := rng.Intn(sentTopics)
+		t2 := rng.Intn(sentTopics)
+		posBias := 0.3 + rng.Float64()*0.4 // target fraction of positive docs
+		// Per-user decision threshold: users label the same content
+		// differently (concept shift), putting an irreducible ceiling on a
+		// single global model — as on real Sent140, where the paper's
+		// methods plateau in the 70s.
+		threshold := rng.NormFloat64() * 0.15
+		for s := 0; s < samplesPerUser; s++ {
+			wantPos := rng.Float64() < posBias
+			row := x.Row(i)
+			mean := sampleDoc(rng, vocab, t1, t2, wantPos, row)
+			label := 0
+			if mean > threshold {
+				label = 1
+			}
+			if rng.Float64() < 0.12 { // label noise
+				label = 1 - label
+			}
+			y[i] = label
+			users[i] = u
+			i++
+		}
+	}
+	return &Dataset{X: x, Y: y, Classes: 2, Users: users}
+}
+
+// sampleDoc fills row with T token ids drawn from the user's topic pools,
+// biased toward the wanted sentiment, and returns the mean polarity.
+func sampleDoc(rng *rand.Rand, vocab *sent140Vocab, t1, t2 int, wantPos bool, row []float64) float64 {
+	sum := 0.0
+	for j := range row {
+		pool := vocab.topics[t1]
+		if rng.Intn(2) == 1 {
+			pool = vocab.topics[t2]
+		}
+		// Rejection-sample a token whose polarity matches the wanted
+		// sentiment with probability 0.55.
+		tok := pool[rng.Intn(len(pool))]
+		if rng.Float64() < 0.55 {
+			for tries := 0; tries < 4; tries++ {
+				if (vocab.polarity[tok] > 0) == wantPos {
+					break
+				}
+				tok = pool[rng.Intn(len(pool))]
+			}
+		}
+		row[j] = float64(tok)
+		sum += vocab.polarity[tok]
+	}
+	return sum / float64(len(row))
+}

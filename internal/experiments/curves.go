@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+)
+
+func init() {
+	Register("fig2", "MNIST accuracy and loss curves (Figs. 2–3)", func(s Scale, log io.Writer) (*Result, error) {
+		return curves("fig2", "mnist", s, log)
+	})
+	Register("fig4", "CIFAR10 accuracy and loss curves (Figs. 4–5)", func(s Scale, log io.Writer) (*Result, error) {
+		return curves("fig4", "cifar", s, log)
+	})
+	Register("fig6", "Sent140 accuracy and loss curves (Figs. 6–7)", func(s Scale, log io.Writer) (*Result, error) {
+		return curves("fig6", "sent140", s, log)
+	})
+	Register("fig8", "FEMNIST accuracy curves, 100/500 clients × low/high cost (Fig. 8)", runFig8)
+}
+
+// curves regenerates an accuracy/loss curve figure pair: for each of the
+// four panels (cross-device/silo × non-IID/IID) it emits per-round accuracy
+// and training loss for all six methods.
+func curves(id, dataset string, scale Scale, log io.Writer) (*Result, error) {
+	t, err := NewTask(dataset, scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	nonIID := 0.0
+	iid := 1.0
+	if dataset == "sent140" || dataset == "femnist" {
+		nonIID = Natural
+	}
+	type panel struct {
+		setting Setting
+		sim     float64
+		label   string
+	}
+	panels := []panel{
+		{Device, nonIID, "device non-IID"},
+		{Device, iid, "device IID"},
+		{Silo, nonIID, "silo non-IID"},
+		{Silo, iid, "silo IID"},
+	}
+	methods := Methods()
+	header := []string{"panel", "round"}
+	for _, m := range methods {
+		header = append(header, m.Name+" acc", m.Name+" loss")
+	}
+	res := &Result{ID: id, Title: Title(id), Header: header}
+	rounds := t.Rounds()
+	for _, p := range panels {
+		hists := make([]*metrics.History, len(methods))
+		for mi, m := range methods {
+			if log != nil {
+				fmt.Fprintf(log, "  %s %s %s…\n", dataset, p.label, m.Name)
+			}
+			hists[mi] = RunOne(t, p.setting, p.sim, m, 1, rounds)
+		}
+		for r := 0; r < rounds; r++ {
+			row := []string{p.label, fmt.Sprint(r + 1)}
+			for _, h := range hists {
+				row = append(row,
+					fmt.Sprintf("%.4f", h.Rounds[r].TestAcc),
+					fmt.Sprintf("%.4f", h.Rounds[r].TrainLoss))
+			}
+			res.AddRow(row...)
+		}
+		for mi, m := range methods {
+			res.Note("%s %s final acc %.4f, tail volatility %.4f",
+				p.label, m.Name, hists[mi].FinalAccuracy(3), hists[mi].Volatility(rounds/2))
+		}
+	}
+	return res, nil
+}
+
+// runFig8 regenerates Fig. 8: FEMNIST accuracy with two client-pool sizes
+// and two cost settings (low: SR=0.1, E=10; high: SR=0.2, E=20).
+func runFig8(scale Scale, log io.Writer) (*Result, error) {
+	p := For(scale)
+	var pools []int
+	switch scale {
+	case ScalePaper:
+		pools = []int{100, 500}
+	case ScaleFast:
+		pools = []int{20, 50}
+	default:
+		pools = []int{10, 20}
+	}
+	type cost struct {
+		label string
+		sr    float64
+		e     int
+	}
+	costs := []cost{{"low", 0.1, 10}, {"high", 0.2, 20}}
+	if scale == ScaleBench {
+		costs = []cost{{"low", 0.2, 3}, {"high", 0.4, 5}}
+	}
+	methods := Methods()
+	header := []string{"clients", "cost", "round"}
+	for _, m := range methods {
+		header = append(header, m.Name+" acc")
+	}
+	res := &Result{ID: "fig8", Title: Title("fig8"), Header: header}
+	for _, clients := range pools {
+		for _, c := range costs {
+			t, err := NewTask("femnist", scale, 1)
+			if err != nil {
+				return nil, err
+			}
+			// Resize the writer pool so PartitionByUser assigns one writer
+			// per client, and apply the cost setting.
+			t.P.FemWriters = clients
+			t.P.DeviceClients = clients
+			t.P.DeviceSR = c.sr
+			t.P.DeviceE = c.e
+			t.Train = data.SynthFEMNIST(clients, p.FemPerWriter, 1)
+			rounds := t.Rounds()
+			t2 := t
+			hists := make([]*metrics.History, len(methods))
+			for mi, m := range methods {
+				if log != nil {
+					fmt.Fprintf(log, "  femnist N=%d cost=%s %s…\n", clients, c.label, m.Name)
+				}
+				hists[mi] = RunOne(t2, Device, Natural, m, 1, rounds)
+			}
+			for r := 0; r < rounds; r++ {
+				row := []string{fmt.Sprint(clients), c.label, fmt.Sprint(r + 1)}
+				for _, h := range hists {
+					row = append(row, fmt.Sprintf("%.4f", h.Rounds[r].TestAcc))
+				}
+				res.AddRow(row...)
+			}
+			for mi, m := range methods {
+				res.Note("N=%d cost=%s %s final acc %.4f", clients, c.label, m.Name, hists[mi].FinalAccuracy(3))
+			}
+		}
+	}
+	return res, nil
+}

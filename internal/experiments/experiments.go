@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment is a named Runner in the Registry;
+// cmd/flbench runs them by id and the root bench_test.go wraps them in
+// testing.B benchmarks. Experiments run at three scales: "bench" (seconds,
+// CI-friendly), "fast" (minutes, the default for EXPERIMENTS.md), and
+// "paper" (close to the paper's client counts and round budgets).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Scale selects the size/rounds preset of an experiment run.
+type Scale string
+
+// The three supported scales.
+const (
+	ScaleBench Scale = "bench"
+	ScaleFast  Scale = "fast"
+	ScalePaper Scale = "paper"
+)
+
+// ParseScale validates a scale name.
+func ParseScale(s string) (Scale, error) {
+	switch Scale(s) {
+	case ScaleBench, ScaleFast, ScalePaper:
+		return Scale(s), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown scale %q (want bench, fast, or paper)", s)
+	}
+}
+
+// Result is a regenerated table or figure: a header plus rows, rendered as
+// text or CSV. Figures are reported as the series of numbers behind them.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends one formatted row.
+func (r *Result) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Note appends a free-form note printed under the table.
+func (r *Result) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Write renders the result as an aligned text table.
+func (r *Result) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(r.Header)); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders header and rows as CSV.
+func (r *Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Runner executes one experiment. Progress lines may be written to log
+// (never part of the result).
+type Runner func(scale Scale, log io.Writer) (*Result, error)
+
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{}
+
+// Register adds an experiment to the registry; it panics on duplicates
+// (registration happens in init, so a duplicate is a programming error).
+func Register(id, title string, run Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", id))
+	}
+	registry[id] = struct {
+		title string
+		run   Runner
+	}{title, run}
+}
+
+// Get returns the runner for id.
+func Get(id string) (Runner, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(List(), ", "))
+	}
+	return e.run, nil
+}
+
+// Title returns the registered title for id, or "".
+func Title(id string) string { return registry[id].title }
+
+// List returns all experiment ids in sorted order.
+func List() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

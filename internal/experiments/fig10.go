@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+func init() {
+	Register("fig10", "Efficiency: min rounds to accuracy levels, time per round (Fig. 10)", runFig10)
+}
+
+// runFig10 regenerates the efficiency evaluation. Panels (a)/(b): the first
+// round at which each method reaches each accuracy level, on MNIST and
+// CIFAR10 in the cross-device non-IID setting. Panels (c)/(d): mean
+// wall-clock training time per round for FedAvg, rFedAvg, and rFedAvg+ at
+// similarity 0% and 10%.
+func runFig10(scale Scale, log io.Writer) (*Result, error) {
+	res := &Result{ID: "fig10", Title: Title("fig10"),
+		Header: []string{"panel", "dataset", "method", "metric", "value"}}
+
+	// Panels a/b: min rounds to target accuracy.
+	levels := map[string][]float64{
+		"mnist": {0.5, 0.7, 0.8, 0.9},
+		"cifar": {0.2, 0.3, 0.35, 0.4},
+	}
+	if scale == ScaleBench {
+		levels = map[string][]float64{"mnist": {0.3, 0.5}, "cifar": {0.15, 0.2}}
+	}
+	for _, dataset := range []string{"mnist", "cifar"} {
+		t, err := NewTask(dataset, scale, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range Methods() {
+			if log != nil {
+				fmt.Fprintf(log, "  fig10ab %s %s…\n", dataset, m.Name)
+			}
+			h := RunOne(t, Device, 0, m, 1, t.Rounds())
+			for _, lv := range levels[dataset] {
+				r := h.RoundsToAccuracy(lv)
+				val := fmt.Sprint(r)
+				if r < 0 {
+					val = ">" + fmt.Sprint(t.Rounds())
+				}
+				res.AddRow("a/b", dataset, m.Name, fmt.Sprintf("rounds to %.0f%%", lv*100), val)
+			}
+		}
+	}
+
+	// Panels c/d: training time per round (wall clock on this machine).
+	for _, dataset := range []string{"mnist", "cifar"} {
+		t, err := NewTask(dataset, scale, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, sim := range []float64{0, 0.10} {
+			for _, m := range MethodsByName("FedAvg", "rFedAvg", "rFedAvg+") {
+				if log != nil {
+					fmt.Fprintf(log, "  fig10cd %s sim=%v %s…\n", dataset, sim, m.Name)
+				}
+				h := RunOne(t, Device, sim, m, 1, t.Rounds())
+				res.AddRow("c/d", dataset, m.Name,
+					fmt.Sprintf("s/round @ sim %.0f%%", sim*100),
+					fmt.Sprintf("%.4f", h.MeanRoundSeconds()))
+			}
+		}
+	}
+	res.Note("a/b shape: rFedAvg/rFedAvg+ need no more (typically fewer) rounds than the baselines")
+	res.Note("c/d shape: rFedAvg+ per-round time ≈ FedAvg; rFedAvg pays an O(N·d) per-step target recomputation")
+	return res, nil
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/privacy"
+)
+
+func init() {
+	Register("fig12", "Privacy: rFedAvg+ with Gaussian noise on δ (Fig. 12)", runFig12)
+}
+
+// runFig12 regenerates the privacy evaluation: rFedAvg+ where every client
+// perturbs its map δ with the Gaussian mechanism (clip C₀, noise σ₂·C₀/L)
+// before sending it, for increasing σ₂. The shape to reproduce: small σ₂
+// leaves the accuracy curve nearly untouched; large σ₂ damages it.
+func runFig12(scale Scale, log io.Writer) (*Result, error) {
+	t, err := NewTask("mnist", scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	sigmas := []float64{0, 1, 5, 10, 20, 100, 1000}
+	if scale == ScaleBench {
+		sigmas = []float64{0, 20, 1000}
+	}
+	res := &Result{ID: "fig12", Title: Title("fig12"),
+		Header: []string{"sigma2", "final acc", "best acc"}}
+	for _, sigma := range sigmas {
+		if log != nil {
+			fmt.Fprintf(log, "  fig12 σ₂=%g…\n", sigma)
+		}
+		mech := privacy.NewGaussianMechanism(sigma, 1.0, t.P.SiloB)
+		spec := AlgoSpec{Name: "rFedAvg+", Make: func(t *Task) fl.Algorithm {
+			a := core.NewRFedAvgPlus(t.Lambda)
+			if sigma > 0 {
+				a.NoiseDelta = func(delta []float64, rng *rand.Rand) { mech.Apply(delta, rng) }
+			}
+			return a
+		}}
+		h := RunOne(t, Silo, 0, spec, 1, t.Rounds())
+		res.AddRow(fmt.Sprintf("%g", sigma),
+			fmt.Sprintf("%.4f", h.FinalAccuracy(3)),
+			fmt.Sprintf("%.4f", h.BestAccuracy()))
+	}
+	res.Note("shape: moderate σ₂ curves nearly overlap the noiseless run; very large σ₂ degrades accuracy")
+	res.Note("the damage knee sits at larger σ₂ than the paper's because this λ and feature dimension are smaller and the averaged target attenuates noise by √(N-1)")
+	return res, nil
+}

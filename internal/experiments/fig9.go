@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+func init() {
+	Register("fig9a", "Impact of λ on CIFAR10 similarity 0% (Fig. 9a)", runFig9a)
+	Register("fig9b", "Impact of client count N (Fig. 9b)", runFig9b)
+	Register("fig9c", "Impact of local steps E (Fig. 9c)", runFig9c)
+	Register("fig9d", "Impact of sample ratio SR (Fig. 9d)", runFig9d)
+}
+
+// fig9Task builds the parameter-study task: CIFAR10 with totally non-IID
+// division in the cross-device setting, as in Sec. VI-B.5.
+func fig9Task(scale Scale) (*Task, error) { return NewTask("cifar", scale, 1) }
+
+func runFig9a(scale Scale, log io.Writer) (*Result, error) {
+	t, err := fig9Task(scale)
+	if err != nil {
+		return nil, err
+	}
+	lambdas := []float64{0, 1e-5, 1e-4, 3e-4, 1e-3, 5e-3, 5e-2}
+	res := &Result{ID: "fig9a", Title: Title("fig9a"),
+		Header: []string{"lambda", "rFedAvg acc", "rFedAvg+ acc", "FedAvg acc"}}
+	fedavg := RunOne(t, Device, 0, MethodsByName("FedAvg")[0], 1, t.Rounds()).FinalAccuracy(3)
+	for _, lam := range lambdas {
+		if log != nil {
+			fmt.Fprintf(log, "  fig9a λ=%g…\n", lam)
+		}
+		specA := AlgoSpec{Name: "rFedAvg", Make: func(t *Task) fl.Algorithm { return core.NewRFedAvg(lam) }}
+		specP := AlgoSpec{Name: "rFedAvg+", Make: func(t *Task) fl.Algorithm { return core.NewRFedAvgPlus(lam) }}
+		a := RunOne(t, Device, 0, specA, 1, t.Rounds()).FinalAccuracy(3)
+		p := RunOne(t, Device, 0, specP, 1, t.Rounds()).FinalAccuracy(3)
+		res.AddRow(fmt.Sprintf("%g", lam), fmt.Sprintf("%.4f", a), fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", fedavg))
+	}
+	res.Note("expected shape: an interior λ beats both extremes; too-large λ can fall below FedAvg")
+	return res, nil
+}
+
+func runFig9b(scale Scale, log io.Writer) (*Result, error) {
+	t, err := fig9Task(scale)
+	if err != nil {
+		return nil, err
+	}
+	var ns []int
+	switch scale {
+	case ScalePaper:
+		ns = []int{50, 100, 200, 500}
+	case ScaleFast:
+		ns = []int{10, 20, 50, 80}
+	default:
+		ns = []int{5, 10, 20}
+	}
+	res := &Result{ID: "fig9b", Title: Title("fig9b"),
+		Header: []string{"N", "rFedAvg+ acc", "FedAvg acc"}}
+	for _, n := range ns {
+		if log != nil {
+			fmt.Fprintf(log, "  fig9b N=%d…\n", n)
+		}
+		tt := *t
+		tt.P.DeviceClients = n
+		p := RunOne(&tt, Device, 0, MethodsByName("rFedAvg+")[0], 1, t.Rounds()).FinalAccuracy(3)
+		f := RunOne(&tt, Device, 0, MethodsByName("FedAvg")[0], 1, t.Rounds()).FinalAccuracy(3)
+		res.AddRow(fmt.Sprint(n), fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", f))
+	}
+	res.Note("fixed SR — fewer clients ⇒ fewer, more biased participants per round ⇒ lower accuracy")
+	return res, nil
+}
+
+func runFig9c(scale Scale, log io.Writer) (*Result, error) {
+	t, err := fig9Task(scale)
+	if err != nil {
+		return nil, err
+	}
+	var es []int
+	switch scale {
+	case ScalePaper:
+		es = []int{1, 2, 5, 10, 20}
+	case ScaleFast:
+		es = []int{1, 2, 5, 10, 20}
+	default:
+		es = []int{1, 5, 10}
+	}
+	res := &Result{ID: "fig9c", Title: Title("fig9c"),
+		Header: []string{"E", "rFedAvg+ acc", "FedAvg acc"}}
+	for _, e := range es {
+		if log != nil {
+			fmt.Fprintf(log, "  fig9c E=%d…\n", e)
+		}
+		tt := *t
+		tt.P.DeviceE = e
+		p := RunOne(&tt, Device, 0, MethodsByName("rFedAvg+")[0], 1, t.Rounds()).FinalAccuracy(3)
+		f := RunOne(&tt, Device, 0, MethodsByName("FedAvg")[0], 1, t.Rounds()).FinalAccuracy(3)
+		res.AddRow(fmt.Sprint(e), fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", f))
+	}
+	res.Note("same communication rounds C for every E — more local compute per round")
+	return res, nil
+}
+
+func runFig9d(scale Scale, log io.Writer) (*Result, error) {
+	t, err := fig9Task(scale)
+	if err != nil {
+		return nil, err
+	}
+	var srs []float64
+	switch scale {
+	case ScalePaper:
+		srs = []float64{0.05, 0.1, 0.2, 0.5, 1.0}
+	case ScaleFast:
+		srs = []float64{0.05, 0.1, 0.2, 0.5, 1.0}
+	default:
+		srs = []float64{0.1, 0.3, 1.0}
+	}
+	res := &Result{ID: "fig9d", Title: Title("fig9d"),
+		Header: []string{"SR", "rFedAvg+ acc", "FedAvg acc"}}
+	for _, sr := range srs {
+		if log != nil {
+			fmt.Fprintf(log, "  fig9d SR=%v…\n", sr)
+		}
+		tt := *t
+		tt.P.DeviceSR = sr
+		p := RunOne(&tt, Device, 0, MethodsByName("rFedAvg+")[0], 1, t.Rounds()).FinalAccuracy(3)
+		f := RunOne(&tt, Device, 0, MethodsByName("FedAvg")[0], 1, t.Rounds()).FinalAccuracy(3)
+		res.AddRow(fmt.Sprintf("%g", sr), fmt.Sprintf("%.4f", p), fmt.Sprintf("%.4f", f))
+	}
+	res.Note("smaller SR ⇒ fewer participants per round ⇒ lower accuracy; gains saturate past a threshold")
+	return res, nil
+}

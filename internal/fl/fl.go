@@ -1,0 +1,495 @@
+// Package fl is the federated-learning substrate: clients, the server
+// round loop, client sampling, weighted aggregation, parallel local
+// training, evaluation, and communication accounting. The baseline
+// algorithms the paper compares against (FedAvg, FedProx, SCAFFOLD,
+// q-FedAvg) live here; the paper's own algorithms (rFedAvg, rFedAvg+) build
+// on this package from internal/core.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Config collects the federation-wide hyperparameters shared by all
+// algorithms, matching the paper's notation: E local steps, batch size B,
+// sample ratio SR, and the local learning-rate schedule.
+type Config struct {
+	Builder   nn.Builder
+	ModelSeed int64 // seed for the initial global model w_0
+	Seed      int64 // seed for sampling and batch order
+
+	LocalSteps  int // E
+	BatchSize   int // B
+	SampleRatio float64
+	LR          opt.Schedule
+	// NewOptimizer builds the local solver (SGD for the image benchmarks,
+	// RMSProp for Sent140). Nil means plain SGD.
+	NewOptimizer func() opt.Optimizer
+
+	// Workers bounds parallel local training; 0 means GOMAXPROCS.
+	Workers int
+	// EvalEvery evaluates the global model every k rounds; 0 means 1.
+	EvalEvery int
+	// EvalBatch is the evaluation batch size; 0 means 256.
+	EvalBatch int
+	// Sampler selects each round's cohort; nil means UniformSampler (the
+	// paper's setting).
+	Sampler Sampler
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 1
+	}
+	if c.EvalBatch <= 0 {
+		c.EvalBatch = 256
+	}
+	if c.NewOptimizer == nil {
+		c.NewOptimizer = func() opt.Optimizer { return opt.NewSGD() }
+	}
+	if c.LR == nil {
+		c.LR = opt.ConstLR(0.1)
+	}
+	if c.SampleRatio <= 0 || c.SampleRatio > 1 {
+		c.SampleRatio = 1
+	}
+	if c.LocalSteps <= 0 {
+		c.LocalSteps = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.Sampler == nil {
+		c.Sampler = UniformSampler{}
+	}
+	return c
+}
+
+// Client is one federated participant: its private shard and aggregation
+// weight p_k = n_k/n from Eq. (1).
+type Client struct {
+	ID     int
+	Data   *data.Dataset
+	Weight float64
+}
+
+// Federation owns the clients, the test set, and the worker pool that runs
+// local training in parallel. One Federation can run several algorithms in
+// sequence; each Algorithm keeps its own global state.
+type Federation struct {
+	Cfg     Config
+	Clients []*Client
+	Test    *data.Dataset
+
+	workers   []*Worker
+	numParams int
+}
+
+type Worker struct {
+	net      *nn.Network
+	localOpt opt.Optimizer
+}
+
+// NewFederation builds a federation from per-client shards. Weights follow
+// shard sizes.
+func NewFederation(cfg Config, shards []*data.Dataset, test *data.Dataset) *Federation {
+	cfg = cfg.withDefaults()
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	f := &Federation{Cfg: cfg, Test: test}
+	for i, s := range shards {
+		f.Clients = append(f.Clients, &Client{ID: i, Data: s, Weight: float64(s.Len()) / float64(total)})
+	}
+	if cfg.Workers > len(shards) {
+		cfg.Workers = len(shards)
+		f.Cfg.Workers = cfg.Workers
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		f.workers = append(f.workers, &Worker{
+			net:      cfg.Builder(cfg.ModelSeed),
+			localOpt: cfg.NewOptimizer(),
+		})
+	}
+	f.numParams = f.workers[0].net.NumParams()
+	return f
+}
+
+// NumParams returns the number of scalar model parameters |w|.
+func (f *Federation) NumParams() int { return f.numParams }
+
+// FeatureDim returns d, the width of φ's output (the δ dimension).
+func (f *Federation) FeatureDim() int { return f.workers[0].net.FeatureDim }
+
+// InitialParams returns a fresh copy of the initial global model w_0.
+func (f *Federation) InitialParams() []float64 {
+	return f.Cfg.Builder(f.Cfg.ModelSeed).GetFlat()
+}
+
+// SampleClients draws the round's cohort through the configured Sampler
+// (uniform ⌈SR·N⌉ by default), deterministically from the federation seed
+// and round number.
+func (f *Federation) SampleClients(round int) []int {
+	return f.Cfg.Sampler.Sample(f, round)
+}
+
+// cohortSize returns ⌈SR·N⌉, clamped to [1, N].
+func (f *Federation) cohortSize() int {
+	k := int(math.Ceil(f.Cfg.SampleRatio * float64(len(f.Clients))))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(f.Clients) {
+		k = len(f.Clients)
+	}
+	return k
+}
+
+// uniformSample is the paper's scheme: ⌈SR·N⌉ distinct clients uniformly.
+func (f *Federation) uniformSample(round int) []int {
+	n := len(f.Clients)
+	k := f.cohortSize()
+	if k >= n {
+		return allClients(n)
+	}
+	rng := f.roundRNG(round, -1)
+	return rng.Perm(n)[:k]
+}
+
+// roundRNG derives a deterministic RNG for a (round, client) pair so runs
+// reproduce regardless of worker scheduling.
+func (f *Federation) roundRNG(round, client int) *rand.Rand {
+	seed := f.Cfg.Seed*1_000_003 + int64(round)*7919 + int64(client+1)*104729
+	return rand.New(rand.NewSource(seed))
+}
+
+// ClientOut is what one client's local work hands back to the server.
+type ClientOut struct {
+	Client *Client
+	Params []float64 // resulting local model, nil if not reported
+	Loss   float64   // mean local training loss
+	Aux    []float64 // algorithm-specific payload (δ map, control variate …)
+}
+
+// MapClients runs work for every sampled client on the worker pool and
+// returns the outputs in sampled order (so aggregation is deterministic).
+// work receives a worker whose network/optimizer it may freely reuse, and a
+// per-(round, client) RNG.
+func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c *Client, rng *rand.Rand) ClientOut) []ClientOut {
+	outs := make([]ClientOut, len(sampled))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			for ti := range tasks {
+				c := f.Clients[sampled[ti]]
+				outs[ti] = work(w, c, f.roundRNG(round, c.ID))
+			}
+		}(w)
+	}
+	for ti := range sampled {
+		tasks <- ti
+	}
+	close(tasks)
+	wg.Wait()
+	return outs
+}
+
+// LocalOpts parameterizes one client's local training.
+type LocalOpts struct {
+	Round int
+	E, B  int
+	// LR returns the learning rate for local step i of this round,
+	// following the global step index t = round·E + i.
+	LR func(i int) float64
+	// FeatGrad, if non-nil, returns the extra gradient to inject at the
+	// feature layer (the distribution regularizer's contribution). It
+	// receives the batch's feature activations.
+	FeatGrad func(feat *tensor.Tensor) *tensor.Tensor
+	// FeatGradX is FeatGrad that additionally receives the input batch,
+	// for methods whose feature gradient needs auxiliary forward passes
+	// over the same batch (MOON's contrastive term). When both are set,
+	// FeatGradX wins.
+	FeatGradX func(x, feat *tensor.Tensor) *tensor.Tensor
+	// PostGrad, if non-nil, runs after backprop and before the optimizer
+	// step to modify parameter gradients (FedProx proximal term, SCAFFOLD
+	// control variates).
+	PostGrad func(params []*nn.Param)
+}
+
+// LocalTrain runs E mini-batch steps of the local solver on c's shard using
+// w's network (which the caller must have loaded with the start parameters)
+// and returns the mean training loss. This is lines 6–9 of Algorithms 1–2
+// and the local loop of every baseline.
+func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpts) float64 {
+	params := w.net.Params()
+	totalLoss := 0.0
+	for i := 0; i < o.E; i++ {
+		idx := c.Data.RandomBatch(rng, o.B)
+		x, y := c.Data.Gather(idx)
+		_, logits := w.net.Forward(x, true)
+		loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		totalLoss += loss
+		var dfeat *tensor.Tensor
+		switch {
+		case o.FeatGradX != nil:
+			dfeat = o.FeatGradX(x, w.net.LastFeatures())
+		case o.FeatGrad != nil:
+			dfeat = o.FeatGrad(w.net.LastFeatures())
+		}
+		w.net.ZeroGrad()
+		w.net.Backward(dlogits, dfeat)
+		if o.PostGrad != nil {
+			o.PostGrad(params)
+		}
+		w.localOpt.Step(params, o.LR(i))
+	}
+	return totalLoss / float64(o.E)
+}
+
+// DefaultLocalOpts builds LocalOpts for a round from the federation config.
+func (f *Federation) DefaultLocalOpts(round int) LocalOpts {
+	e := f.Cfg.LocalSteps
+	return LocalOpts{
+		Round: round,
+		E:     e,
+		B:     f.Cfg.BatchSize,
+		LR:    func(i int) float64 { return f.Cfg.LR.LR(round*e + i) },
+	}
+}
+
+// LoadModel points w's network at the given flat parameters and resets the
+// local optimizer state, the client-side half of "w_cE^k ← w_cE".
+func (w *Worker) LoadModel(flat []float64) {
+	w.net.SetFlat(flat)
+	w.localOpt.Reset()
+}
+
+// Net exposes the worker's network to algorithm implementations.
+func (w *Worker) Net() *nn.Network { return w.net }
+
+// MeanLoss reports the data-size-weighted mean of client losses.
+func MeanLoss(outs []ClientOut) float64 {
+	num, den := 0.0, 0.0
+	for _, o := range outs {
+		n := float64(o.Client.Data.Len())
+		num += o.Loss * n
+		den += n
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// WeightedAverage aggregates client parameter vectors weighted by shard
+// size — the server update w ← Σ p_k w_k, normalized over the sampled
+// cohort for partial participation.
+func WeightedAverage(outs []ClientOut) []float64 {
+	var dst []float64
+	den := 0.0
+	for _, o := range outs {
+		if o.Params == nil {
+			continue
+		}
+		n := float64(o.Client.Data.Len())
+		if dst == nil {
+			dst = make([]float64, len(o.Params))
+		}
+		for i, v := range o.Params {
+			dst[i] += n * v
+		}
+		den += n
+	}
+	if dst == nil {
+		panic("fl: WeightedAverage with no reporting clients")
+	}
+	inv := 1 / den
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+// Evaluate computes the accuracy of the model given by flat parameters on
+// ds, batching to bound memory.
+func (f *Federation) Evaluate(flat []float64, ds *data.Dataset) float64 {
+	w := f.workers[0]
+	w.net.SetFlat(flat)
+	b := f.Cfg.EvalBatch
+	correct := 0
+	for lo := 0; lo < ds.Len(); lo += b {
+		hi := lo + b
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := ds.Gather(idx)
+		logits := w.net.Predict(x)
+		for i := 0; i < logits.Dim(0); i++ {
+			if tensor.MaxIndex(logits.Row(i)) == y[i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// EvaluateConfusion computes the full confusion matrix of the model given
+// by flat parameters on ds.
+func (f *Federation) EvaluateConfusion(flat []float64, ds *data.Dataset) *metrics.Confusion {
+	w := f.workers[0]
+	w.net.SetFlat(flat)
+	conf := metrics.NewConfusion(ds.Classes)
+	b := f.Cfg.EvalBatch
+	for lo := 0; lo < ds.Len(); lo += b {
+		hi := lo + b
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, y := ds.Gather(idx)
+		logits := w.net.Predict(x)
+		for i := 0; i < logits.Dim(0); i++ {
+			conf.Add(y[i], tensor.MaxIndex(logits.Row(i)))
+		}
+	}
+	return conf
+}
+
+// EvaluatePerClient returns the global model's accuracy on every client's
+// local data — the per-client scatter of the fairness evaluation (Fig. 11).
+func (f *Federation) EvaluatePerClient(flat []float64) []float64 {
+	accs := make([]float64, len(f.Clients))
+	var wg sync.WaitGroup
+	tasks := make(chan int)
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			net := w.net
+			net.SetFlat(flat)
+			for k := range tasks {
+				ds := f.Clients[k].Data
+				correct := 0
+				b := f.Cfg.EvalBatch
+				for lo := 0; lo < ds.Len(); lo += b {
+					hi := lo + b
+					if hi > ds.Len() {
+						hi = ds.Len()
+					}
+					idx := make([]int, hi-lo)
+					for i := range idx {
+						idx[i] = lo + i
+					}
+					x, y := ds.Gather(idx)
+					logits := net.Predict(x)
+					for i := 0; i < logits.Dim(0); i++ {
+						if tensor.MaxIndex(logits.Row(i)) == y[i] {
+							correct++
+						}
+					}
+				}
+				accs[k] = float64(correct) / float64(ds.Len())
+			}
+		}(w)
+	}
+	for k := range f.Clients {
+		tasks <- k
+	}
+	close(tasks)
+	wg.Wait()
+	return accs
+}
+
+// Algorithm is one federated optimization method. Setup is called once;
+// Round advances one communication round over the sampled cohort.
+type Algorithm interface {
+	Name() string
+	Setup(f *Federation)
+	Round(round int, sampled []int) RoundResult
+	// GlobalParams exposes the current global model for evaluation.
+	GlobalParams() []float64
+}
+
+// RoundResult reports one round's aggregate training loss and measured
+// communication volume.
+type RoundResult struct {
+	TrainLoss float64
+	UpBytes   int64
+	DownBytes int64
+	// ClientLosses holds each participating client's mean local training
+	// loss, consumed by loss-adaptive samplers.
+	ClientLosses map[int]float64
+}
+
+// LossMap collects per-client losses from client outputs.
+func LossMap(outs []ClientOut) map[int]float64 {
+	m := make(map[int]float64, len(outs))
+	for _, o := range outs {
+		m[o.Client.ID] = o.Loss
+	}
+	return m
+}
+
+// PayloadBytes is the wire size of a message carrying n float64 values
+// under the transport codec (8 bytes per value plus framing). Table III and
+// Fig. 10's communication numbers are computed with this.
+func PayloadBytes(nFloats int) int64 { return int64(8*nFloats) + 24 }
+
+// Run executes rounds of alg over f, recording metrics per round.
+func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
+	alg.Setup(f)
+	h := &metrics.History{Algorithm: alg.Name()}
+	for c := 0; c < rounds; c++ {
+		sampled := f.SampleClients(c)
+		start := time.Now()
+		res := alg.Round(c, sampled)
+		if obs, ok := f.Cfg.Sampler.(LossObserver); ok {
+			for id, loss := range res.ClientLosses {
+				obs.Observe(id, loss)
+			}
+		}
+		stats := metrics.RoundStats{
+			Round:     c,
+			TrainLoss: res.TrainLoss,
+			Seconds:   time.Since(start).Seconds(),
+			UpBytes:   res.UpBytes,
+			DownBytes: res.DownBytes,
+			TestAcc:   math.NaN(),
+		}
+		if f.Test != nil && (c%f.Cfg.EvalEvery == f.Cfg.EvalEvery-1 || c == rounds-1) {
+			stats.TestAcc = f.Evaluate(alg.GlobalParams(), f.Test)
+		}
+		h.Append(stats)
+	}
+	return h
+}
+
+// String renders a client for diagnostics.
+func (c *Client) String() string {
+	return fmt.Sprintf("client %d: %d samples, weight %.4f", c.ID, c.Data.Len(), c.Weight)
+}

@@ -1,0 +1,118 @@
+package fl
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Personalization: the paper's conclusion points at combining the
+// regularized global model with personalized federated learning. This file
+// implements the standard fine-tuning evaluation: each client splits its
+// shard into a fine-tune part and a held-out part, adapts the global model
+// locally for a few steps, and reports held-out accuracy — measuring how
+// good a *starting point* each algorithm's global model is.
+
+// PersonalizeOptions configures the per-client fine-tuning evaluation.
+type PersonalizeOptions struct {
+	// Steps of local fine-tuning SGD; 0 evaluates the global model as-is.
+	Steps int
+	// BatchSize for fine-tuning; 0 uses the federation's batch size.
+	BatchSize int
+	// LR for fine-tuning; 0 uses 0.01.
+	LR float64
+	// HoldoutFraction of each shard reserved for evaluation; 0 uses 0.25.
+	HoldoutFraction float64
+	// Seed controls the shard split and batch order.
+	Seed int64
+}
+
+func (o PersonalizeOptions) withDefaults(f *Federation) PersonalizeOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = f.Cfg.BatchSize
+	}
+	if o.LR <= 0 {
+		o.LR = 0.01
+	}
+	if o.HoldoutFraction <= 0 || o.HoldoutFraction >= 1 {
+		o.HoldoutFraction = 0.25
+	}
+	return o
+}
+
+// Personalize fine-tunes the global model independently on every client
+// and returns each client's held-out accuracy. The global model is not
+// modified.
+func (f *Federation) Personalize(global []float64, o PersonalizeOptions) []float64 {
+	o = o.withDefaults(f)
+	accs := make([]float64, len(f.Clients))
+	tasks := make(chan int)
+	var wg sync.WaitGroup
+	for range f.workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := f.Cfg.Builder(f.Cfg.ModelSeed)
+			localOpt := f.Cfg.NewOptimizer()
+			for k := range tasks {
+				accs[k] = personalizeOne(net, localOpt, f.Clients[k], global, o)
+			}
+		}()
+	}
+	for k := range f.Clients {
+		tasks <- k
+	}
+	close(tasks)
+	wg.Wait()
+	return accs
+}
+
+func personalizeOne(net *nn.Network, localOpt interface {
+	Step(params []*nn.Param, lr float64)
+	Reset()
+}, c *Client, global []float64, o PersonalizeOptions) float64 {
+	rng := rand.New(rand.NewSource(o.Seed*1_000_003 + int64(c.ID+1)*7919))
+	n := c.Data.Len()
+	perm := rng.Perm(n)
+	cut := int(float64(n) * (1 - o.HoldoutFraction))
+	if cut < 1 {
+		cut = 1
+	}
+	if cut >= n {
+		cut = n - 1
+	}
+	tuneIdx, holdIdx := perm[:cut], perm[cut:]
+
+	net.SetFlat(global)
+	localOpt.Reset()
+	params := net.Params()
+	for s := 0; s < o.Steps; s++ {
+		b := o.BatchSize
+		if b > len(tuneIdx) {
+			b = len(tuneIdx)
+		}
+		batch := make([]int, b)
+		sub := rng.Perm(len(tuneIdx))[:b]
+		for i, j := range sub {
+			batch[i] = tuneIdx[j]
+		}
+		x, y := c.Data.Gather(batch)
+		_, logits := net.Forward(x, true)
+		_, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		net.ZeroGrad()
+		net.Backward(dlogits, nil)
+		localOpt.Step(params, o.LR)
+	}
+
+	x, y := c.Data.Gather(holdIdx)
+	logits := net.Predict(x)
+	correct := 0
+	for i := 0; i < logits.Dim(0); i++ {
+		if tensor.MaxIndex(logits.Row(i)) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(holdIdx))
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Confusion is a class-by-class confusion matrix: Counts[t][p] counts
+// samples of true class t predicted as p.
+type Confusion struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusion creates an empty matrix for the given class count.
+func NewConfusion(classes int) *Confusion {
+	c := &Confusion{Classes: classes, Counts: make([][]int, classes)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, classes)
+	}
+	return c
+}
+
+// Add records one prediction.
+func (c *Confusion) Add(trueClass, predicted int) {
+	c.Counts[trueClass][predicted]++
+}
+
+// Total returns the number of recorded predictions.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (c *Confusion) Accuracy() float64 {
+	total, correct := 0, 0
+	for t, row := range c.Counts {
+		for p, v := range row {
+			total += v
+			if t == p {
+				correct += v
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall per class (NaN-free: classes with no
+// samples report 0).
+func (c *Confusion) PerClassRecall() []float64 {
+	out := make([]float64, c.Classes)
+	for t, row := range c.Counts {
+		n := 0
+		for _, v := range row {
+			n += v
+		}
+		if n > 0 {
+			out[t] = float64(row[t]) / float64(n)
+		}
+	}
+	return out
+}
+
+// PerClassPrecision returns precision per class (0 when never predicted).
+func (c *Confusion) PerClassPrecision() []float64 {
+	out := make([]float64, c.Classes)
+	for p := 0; p < c.Classes; p++ {
+		n := 0
+		for t := 0; t < c.Classes; t++ {
+			n += c.Counts[t][p]
+		}
+		if n > 0 {
+			out[p] = float64(c.Counts[p][p]) / float64(n)
+		}
+	}
+	return out
+}
+
+// MacroF1 returns the unweighted mean F1 over classes, the standard
+// imbalance-robust summary for skewed federated test sets.
+func (c *Confusion) MacroF1() float64 {
+	rec := c.PerClassRecall()
+	prec := c.PerClassPrecision()
+	s := 0.0
+	for i := 0; i < c.Classes; i++ {
+		if rec[i]+prec[i] > 0 {
+			s += 2 * rec[i] * prec[i] / (rec[i] + prec[i])
+		}
+	}
+	return s / float64(c.Classes)
+}
+
+// String renders the matrix compactly (rows = true class).
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d classes, %d samples, acc %.4f):\n", c.Classes, c.Total(), c.Accuracy())
+	for t, row := range c.Counts {
+		fmt.Fprintf(&b, "  %2d |", t)
+		for _, v := range row {
+			fmt.Fprintf(&b, " %4d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

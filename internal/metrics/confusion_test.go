@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mkConfusion() *Confusion {
+	c := NewConfusion(3)
+	// class 0: 8 right, 2 as class 1
+	for i := 0; i < 8; i++ {
+		c.Add(0, 0)
+	}
+	c.Add(0, 1)
+	c.Add(0, 1)
+	// class 1: 5 right, 5 as class 2
+	for i := 0; i < 5; i++ {
+		c.Add(1, 1)
+		c.Add(1, 2)
+	}
+	// class 2: all 10 right
+	for i := 0; i < 10; i++ {
+		c.Add(2, 2)
+	}
+	return c
+}
+
+func TestConfusionAccuracy(t *testing.T) {
+	c := mkConfusion()
+	if c.Total() != 30 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-23.0/30) > 1e-12 {
+		t.Fatalf("accuracy %v", c.Accuracy())
+	}
+}
+
+func TestPerClassRecall(t *testing.T) {
+	r := mkConfusion().PerClassRecall()
+	want := []float64{0.8, 0.5, 1.0}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("recall %v, want %v", r, want)
+		}
+	}
+}
+
+func TestPerClassPrecision(t *testing.T) {
+	p := mkConfusion().PerClassPrecision()
+	// predicted 0: 8 (all true 0) → 1.0; predicted 1: 7 (5 true) → 5/7;
+	// predicted 2: 15 (10 true) → 2/3.
+	want := []float64{1.0, 5.0 / 7, 10.0 / 15}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("precision %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	c := mkConfusion()
+	rec, prec := c.PerClassRecall(), c.PerClassPrecision()
+	want := 0.0
+	for i := 0; i < 3; i++ {
+		want += 2 * rec[i] * prec[i] / (rec[i] + prec[i])
+	}
+	want /= 3
+	if math.Abs(c.MacroF1()-want) > 1e-12 {
+		t.Fatalf("macro F1 %v, want %v", c.MacroF1(), want)
+	}
+}
+
+func TestConfusionEmptyClass(t *testing.T) {
+	c := NewConfusion(2)
+	c.Add(0, 0)
+	r := c.PerClassRecall()
+	if r[1] != 0 {
+		t.Fatalf("empty class recall %v, want 0", r[1])
+	}
+	p := c.PerClassPrecision()
+	if p[1] != 0 {
+		t.Fatalf("never-predicted precision %v, want 0", p[1])
+	}
+	if c.MacroF1() < 0 {
+		t.Fatal("macro F1 must not be NaN/negative")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	s := mkConfusion().String()
+	if !strings.Contains(s, "3 classes") || !strings.Contains(s, "30 samples") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestConfusionZeroAccuracy(t *testing.T) {
+	if NewConfusion(2).Accuracy() != 0 {
+		t.Fatal("empty confusion accuracy must be 0")
+	}
+}

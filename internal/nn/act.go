@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, max(0, x).
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward computes max(0, x) and records which inputs were positive.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.mask) < x.Size() {
+		r.mask = make([]bool, x.Size())
+	}
+	r.mask = r.mask[:x.Size()]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		if r.mask[i] {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	y *tensor.Tensor
+}
+
+// NewTanh creates a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward computes tanh(x).
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out
+}
+
+// Backward computes dout · (1 - tanh²(x)).
+func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		y := t.y.Data[i]
+		dx.Data[i] = v * (1 - y*y)
+	}
+	return dx
+}
+
+// Params returns nil: Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	y *tensor.Tensor
+}
+
+// NewSigmoid creates a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward computes σ(x).
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		out.Data[i] = sigmoid(v)
+	}
+	s.y = out
+	return out
+}
+
+// Backward computes dout · σ(x)(1-σ(x)).
+func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		y := s.y.Data[i]
+		dx.Data[i] = v * y * (1 - y)
+	}
+	return dx
+}
+
+// Params returns nil: Sigmoid has no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+func sigmoid(x float64) float64 {
+	// Split by sign for numerical stability at large |x|.
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}

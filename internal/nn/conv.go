@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over channel-major images. The layer consumes
+// rank-2 activations of shape (batch, InC·InH·InW) and produces
+// (batch, OutC·OutH·OutW), where each sample is laid out channel-major
+// (c, y, x). The implementation lowers convolution to matrix multiply via
+// im2col, which turns the training hot loop into the parallel matmul kernel.
+type Conv2D struct {
+	InC, InH, InW int
+	OutC          int
+	K             int // square kernel size
+	Stride        int
+	Pad           int
+	OutH, OutW    int
+
+	w, b *Param
+
+	cols *tensor.Tensor // cached im2col matrix for backward
+	bsz  int
+}
+
+// NewConv2D creates a convolution layer with He-normal weights.
+func NewConv2D(rng *rand.Rand, inC, inH, inW, outC, k, stride, pad int) *Conv2D {
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D produces empty output for input %dx%d kernel %d stride %d pad %d",
+			inH, inW, k, stride, pad))
+	}
+	fanIn := inC * k * k
+	return &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		w: newParam("conv.w", tensor.HeNormal(rng, fanIn, outC, fanIn)),
+		b: newParam("conv.b", tensor.New(outC)),
+	}
+}
+
+// OutFeatures returns the flattened output width OutC·OutH·OutW.
+func (c *Conv2D) OutFeatures() int { return c.OutC * c.OutH * c.OutW }
+
+// Forward lowers the batch to an im2col matrix and multiplies by the kernel.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz := x.Dim(0)
+	if x.Dim(1) != c.InC*c.InH*c.InW {
+		panic(fmt.Sprintf("nn: Conv2D input width %d, want %d", x.Dim(1), c.InC*c.InH*c.InW))
+	}
+	c.bsz = bsz
+	ohw := c.OutH * c.OutW
+	ickk := c.InC * c.K * c.K
+	cols := tensor.New(bsz*ohw, ickk)
+	for b := 0; b < bsz; b++ {
+		img := x.Row(b)
+		c.im2col(img, cols.Data[b*ohw*ickk:(b+1)*ohw*ickk])
+	}
+	c.cols = cols
+
+	// (B·OH·OW, ICKK) · (OutC, ICKK)ᵀ → (B·OH·OW, OutC)
+	prod := tensor.MatMulTransB(cols, c.w.W)
+	prod.AddRowVector(c.b.W.Data)
+
+	// Scatter to channel-major output layout (B, OutC·OH·OW).
+	out := tensor.New(bsz, c.OutC*ohw)
+	for b := 0; b < bsz; b++ {
+		orow := out.Row(b)
+		for p := 0; p < ohw; p++ {
+			prow := prod.Row(b*ohw + p)
+			for oc := 0; oc < c.OutC; oc++ {
+				orow[oc*ohw+p] = prow[oc]
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates kernel/bias gradients and returns the input gradient
+// via col2im.
+func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	bsz := c.bsz
+	ohw := c.OutH * c.OutW
+	ickk := c.InC * c.K * c.K
+
+	// Gather dout into the matmul layout (B·OH·OW, OutC).
+	dmat := tensor.New(bsz*ohw, c.OutC)
+	for b := 0; b < bsz; b++ {
+		drow := dout.Row(b)
+		for p := 0; p < ohw; p++ {
+			dst := dmat.Row(b*ohw + p)
+			for oc := 0; oc < c.OutC; oc++ {
+				dst[oc] = drow[oc*ohw+p]
+			}
+		}
+	}
+
+	// dW += dmatᵀ·cols ; db += Σ dmat.
+	c.w.G.AddInPlace(tensor.MatMulTransA(dmat, c.cols))
+	for i, v := range tensor.ColSums(dmat) {
+		c.b.G.Data[i] += v
+	}
+
+	// dcols = dmat·W, then scatter back to image space.
+	dcols := tensor.MatMul(dmat, c.w.W)
+	dx := tensor.New(bsz, c.InC*c.InH*c.InW)
+	for b := 0; b < bsz; b++ {
+		c.col2im(dcols.Data[b*ohw*ickk:(b+1)*ohw*ickk], dx.Row(b))
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// im2col expands one channel-major image into dst, a row per output
+// position and a column per (channel, ky, kx) tap; out-of-bounds taps are 0.
+func (c *Conv2D) im2col(img, dst []float64) {
+	ickk := c.InC * c.K * c.K
+	for oy := 0; oy < c.OutH; oy++ {
+		for ox := 0; ox < c.OutW; ox++ {
+			row := dst[(oy*c.OutW+ox)*ickk:]
+			for ch := 0; ch < c.InC; ch++ {
+				chImg := img[ch*c.InH*c.InW:]
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride - c.Pad + ky
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride - c.Pad + kx
+						q := (ch*c.K+ky)*c.K + kx
+						if iy < 0 || iy >= c.InH || ix < 0 || ix >= c.InW {
+							row[q] = 0
+						} else {
+							row[q] = chImg[iy*c.InW+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatter-adds column gradients back into image space (the adjoint
+// of im2col).
+func (c *Conv2D) col2im(cols, img []float64) {
+	ickk := c.InC * c.K * c.K
+	for oy := 0; oy < c.OutH; oy++ {
+		for ox := 0; ox < c.OutW; ox++ {
+			row := cols[(oy*c.OutW+ox)*ickk:]
+			for ch := 0; ch < c.InC; ch++ {
+				chImg := img[ch*c.InH*c.InW:]
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride - c.Pad + ky
+					if iy < 0 || iy >= c.InH {
+						continue
+					}
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride - c.Pad + kx
+						if ix < 0 || ix >= c.InW {
+							continue
+						}
+						chImg[iy*c.InW+ix] += row[(ch*c.K+ky)*c.K+kx]
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b, with W of shape (in, out).
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *tensor.Tensor // cached input for backward
+}
+
+// NewDense creates a dense layer with Glorot-uniform weights and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		In:  in,
+		Out: out,
+		w:   newParam("dense.w", tensor.GlorotUniform(rng, in, out, in, out)),
+		b:   newParam("dense.b", tensor.New(out)),
+	}
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	y := tensor.MatMul(x, d.w.W)
+	y.AddRowVector(d.b.W.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns
+// dx = dout·Wᵀ.
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	d.w.G.AddInPlace(tensor.MatMulTransA(d.x, dout))
+	db := tensor.ColSums(dout)
+	for i, v := range db {
+		d.b.G.Data[i] += v
+	}
+	return tensor.MatMulTransB(dout, d.w.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability Rate
+// and rescales survivors by 1/(1-Rate) (inverted dropout), so evaluation
+// needs no correction.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with its own deterministic RNG stream.
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	return &Dropout{Rate: rate, rng: rand.New(rand.NewSource(rng.Int63()))}
+}
+
+// Forward applies the mask in training mode and is the identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate <= 0 {
+		d.mask = nil
+		return x
+	}
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	}
+	d.mask = d.mask[:x.Size()]
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		} else {
+			d.mask[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dout
+	}
+	dx := tensor.New(dout.Shape()...)
+	for i, v := range dout.Data {
+		dx.Data[i] = v * d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil: dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer token ids to dense vectors. The input is a
+// (batch, T) tensor whose entries are token ids stored as float64; the
+// output is (batch, T·Dim) with the T embeddings concatenated per sample.
+// Embedding is always the first layer, so Backward returns nil.
+type Embedding struct {
+	Vocab, Dim int
+	w          *Param
+	ids        []int // cached flat token ids for backward
+	bsz, t     int
+}
+
+// NewEmbedding creates an embedding table with N(0, 0.1²) entries.
+func NewEmbedding(rng *rand.Rand, vocab, dim int) *Embedding {
+	return &Embedding{
+		Vocab: vocab,
+		Dim:   dim,
+		w:     newParam("embed.w", tensor.RandNormal(rng, 0.1, vocab, dim)),
+	}
+}
+
+// Forward looks up each token's embedding row.
+func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz, t := x.Dim(0), x.Dim(1)
+	e.bsz, e.t = bsz, t
+	if cap(e.ids) < bsz*t {
+		e.ids = make([]int, bsz*t)
+	}
+	e.ids = e.ids[:bsz*t]
+	out := tensor.New(bsz, t*e.Dim)
+	for b := 0; b < bsz; b++ {
+		xrow := x.Row(b)
+		orow := out.Row(b)
+		for j := 0; j < t; j++ {
+			id := int(xrow[j])
+			if id < 0 || id >= e.Vocab {
+				panic(fmt.Sprintf("nn: Embedding token id %d outside vocab %d", id, e.Vocab))
+			}
+			e.ids[b*t+j] = id
+			copy(orow[j*e.Dim:(j+1)*e.Dim], e.w.W.Row(id))
+		}
+	}
+	return out
+}
+
+// Backward scatter-adds output gradients into the embedding table's
+// gradient and returns nil (token ids are not differentiable).
+func (e *Embedding) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	for b := 0; b < e.bsz; b++ {
+		drow := dout.Row(b)
+		for j := 0; j < e.t; j++ {
+			id := e.ids[b*e.t+j]
+			grow := e.w.G.Row(id)
+			src := drow[j*e.Dim : (j+1)*e.Dim]
+			for k, v := range src {
+				grow[k] += v
+			}
+		}
+	}
+	return nil
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.w} }

@@ -1,0 +1,277 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestConv2DRectangularInput covers non-square spatial dims end to end.
+func TestConv2DRectangularInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D(rng, 2, 6, 10, 3, 3, 1, 1)
+	if c.OutH != 6 || c.OutW != 10 {
+		t.Fatalf("same-pad output %dx%d", c.OutH, c.OutW)
+	}
+	x := tensor.RandNormal(rng, 1, 2, 2*6*10)
+	out := c.Forward(x, true)
+	if out.Dim(1) != 3*6*10 {
+		t.Fatalf("output width %d", out.Dim(1))
+	}
+	checkLayerGradients(t, c, x, 1e-6, 1e-5)
+}
+
+// TestConv2DKnownValues pins a hand-computed 1-channel convolution.
+func TestConv2DKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D(rng, 1, 3, 3, 1, 3, 1, 0) // single 3×3 kernel, valid conv
+	// Overwrite weights with an identity-like kernel: only center tap = 2.
+	c.w.W.Zero()
+	c.w.W.Data[4] = 2
+	c.b.W.Data[0] = 0.5
+	x := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 9)
+	out := c.Forward(x, false)
+	// Valid 3×3 conv on 3×3 input → single output = 2·center + bias = 10.5.
+	if out.Size() != 1 || out.Data[0] != 10.5 {
+		t.Fatalf("conv output %v, want [10.5]", out.Data)
+	}
+}
+
+// TestMaxPoolKnownValues pins pooling behavior.
+func TestMaxPoolKnownValues(t *testing.T) {
+	m := NewMaxPool2D(1, 4, 4, 2)
+	x := tensor.FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 16)
+	out := m.Forward(x, false)
+	want := []float64{4, 8, 12, 16}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("pool output %v, want %v", out.Data, want)
+		}
+	}
+	// Gradient routes to the argmax positions only.
+	g := tensor.FromSlice([]float64{1, 1, 1, 1}, 1, 4)
+	dx := m.Backward(g)
+	nonzero := 0
+	for _, v := range dx.Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 4 {
+		t.Fatalf("pool backward spread to %d cells, want 4", nonzero)
+	}
+}
+
+// TestLSTMDeterministicAcrossForwardCalls verifies stateless-per-call
+// semantics: the same input gives the same output on repeated calls.
+func TestLSTMDeterministicAcrossForwardCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLSTM(rng, 3, 5, 4)
+	x := tensor.RandNormal(rng, 1, 2, 12)
+	a := l.Forward(x, true).Clone()
+	b := l.Forward(x, true)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("LSTM forward must not carry state across calls")
+		}
+	}
+}
+
+// TestLSTMForgetBiasInit verifies the forget-gate bias trick.
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLSTM(rng, 3, 4, 2)
+	b := l.b.W.Data
+	for j := 0; j < 4; j++ {
+		if b[j] != 0 || b[4+j] != 1 || b[8+j] != 0 || b[12+j] != 0 {
+			t.Fatalf("bias layout wrong at %d: %v", j, b)
+		}
+	}
+}
+
+// TestDropoutInsideNetworkTraining verifies a network containing dropout
+// still trains and evaluates deterministically in eval mode.
+func TestDropoutInsideNetworkTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	feat := NewSequential(
+		NewDense(rng, 6, 16), NewReLU(),
+		NewDropout(rng, 0.3),
+		NewDense(rng, 16, 8), NewReLU(),
+	)
+	net := NewNetwork(feat, NewDense(rng, 8, 2), 8)
+	x := tensor.RandNormal(rng, 1, 64, 6)
+	labels := make([]int, 64)
+	for i := range labels {
+		if x.Row(i)[0]+x.Row(i)[1] > 0 {
+			labels[i] = 1
+		}
+	}
+	for step := 0; step < 200; step++ {
+		_, logits := net.Forward(x, true)
+		_, dl := SoftmaxCrossEntropy(logits, labels)
+		net.ZeroGrad()
+		net.Backward(dl, nil)
+		for _, p := range net.Params() {
+			p.W.Axpy(-0.3, p.G)
+		}
+	}
+	if acc := Accuracy(net.Predict(x), labels); acc < 0.9 {
+		t.Fatalf("dropout network train accuracy %v", acc)
+	}
+	// Eval must be deterministic.
+	a, b := net.Predict(x), net.Predict(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("eval-mode prediction must be deterministic under dropout")
+		}
+	}
+}
+
+// TestSequentialNilGradientOnlyFirstLayer: a mid-stack embedding (nil input
+// gradient) must panic loudly instead of silently truncating backprop.
+func TestSequentialNilGradientOnlyFirstLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewSequential(NewDense(rng, 4, 3), NewEmbedding(rng, 10, 2))
+	x := tensor.New(1, 4)
+	x.Data[0] = 1
+	out := s.Forward(x, true) // dense output used as (nonsense) token ids?
+	_ = out
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil gradient from a non-first layer")
+		}
+	}()
+	s.Backward(tensor.New(1, out.Dim(1)))
+}
+
+// TestCrossEntropyAgainstManual pins the loss value for a tiny case.
+func TestCrossEntropyAgainstManual(t *testing.T) {
+	logits := tensor.FromSlice([]float64{math.Log(1), math.Log(3)}, 1, 2)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{1})
+	if math.Abs(loss-(-math.Log(0.75))) > 1e-12 {
+		t.Fatalf("loss = %v, want %v", loss, -math.Log(0.75))
+	}
+	if math.Abs(grad.Data[0]-0.25) > 1e-12 || math.Abs(grad.Data[1]-(-0.25)) > 1e-12 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+// TestFeatureParamsSubset verifies the (w̃, w̿) split: feature params plus
+// head params partition the full parameter list, in order.
+func TestFeatureParamsSubset(t *testing.T) {
+	net := NewMLP(4, 6, 3, 2)(1)
+	all := net.Params()
+	feat := net.FeatureParams()
+	if len(feat) >= len(all) {
+		t.Fatal("head must own parameters too")
+	}
+	for i := range feat {
+		if all[i] != feat[i] {
+			t.Fatal("feature params must prefix the full list")
+		}
+	}
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	l := NewLayerNorm(6)
+	// Perturb gain/bias so the affine path is exercised.
+	for i := range l.g.W.Data {
+		l.g.W.Data[i] = 0.5 + rng.Float64()
+		l.b.W.Data[i] = rng.NormFloat64() * 0.3
+	}
+	x := tensor.RandNormal(rng, 1, 4, 6)
+	checkLayerGradients(t, l, x, 1e-6, 1e-4)
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	l := NewLayerNorm(50)
+	x := tensor.RandNormal(rng, 3, 8, 50)
+	for i := 0; i < 8; i++ {
+		for j := range x.Row(i) {
+			x.Row(i)[j] += 5 // shift: must be removed
+		}
+	}
+	out := l.Forward(x, true)
+	for i := 0; i < 8; i++ {
+		row := out.Row(i)
+		mean, sq := 0.0, 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= 50
+		for _, v := range row {
+			d := v - mean
+			sq += d * d
+		}
+		std := math.Sqrt(sq / 50)
+		if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 0.01 {
+			t.Fatalf("row %d: mean %v std %v", i, mean, std)
+		}
+	}
+}
+
+func TestGRUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	l := NewGRU(rng, 3, 4, 5)
+	x := tensor.RandNormal(rng, 1, 2, 5*3)
+	checkLayerGradients(t, l, x, 1e-6, 2e-5)
+}
+
+func TestTextGRUTrains(t *testing.T) {
+	// A GRU text model must learn a trivial token-presence task.
+	rng := rand.New(rand.NewSource(23))
+	spec := TextSpec{Vocab: 20, T: 6, Classes: 2}
+	net := NewTextGRU(spec, 8, 12, 8)(1)
+	n := 120
+	x := tensor.New(n, 6)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 6; j++ {
+			x.Row(i)[j] = float64(rng.Intn(19) + 1)
+		}
+		if i%2 == 0 { // class 0 contains token 0
+			x.Row(i)[rng.Intn(6)] = 0
+		} else {
+			labels[i] = 1
+		}
+	}
+	for step := 0; step < 150; step++ {
+		_, logits := net.Forward(x, true)
+		_, dl := SoftmaxCrossEntropy(logits, labels)
+		net.ZeroGrad()
+		net.Backward(dl, nil)
+		for _, p := range net.Params() {
+			p.W.Axpy(-0.3, p.G)
+		}
+	}
+	if acc := Accuracy(net.Predict(x), labels); acc < 0.95 {
+		t.Fatalf("GRU train accuracy %v", acc)
+	}
+}
+
+func TestGRUInputWidthPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	l := NewGRU(rng, 3, 4, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong input width")
+		}
+	}()
+	l.Forward(tensor.New(1, 7), true)
+}
+
+func TestLayerNormInSequentialWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := NewSequential(NewDense(rng, 5, 8), NewLayerNorm(8), NewReLU(), NewDense(rng, 8, 3))
+	x := tensor.RandNormal(rng, 1, 3, 5)
+	checkLayerGradients(t, s, x, 1e-6, 1e-4)
+}

@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit — a lighter alternative to the
+// LSTM for the text benchmarks. Input layout matches LSTM: (batch, T·In)
+// with T concatenated step vectors; the output is the final hidden state
+// (batch, Hidden). Gates are packed r (reset), z (update) in the 2·Hidden
+// weight matrices, with a separate candidate transform.
+type GRU struct {
+	In, Hidden, T int
+
+	wxg, whg *Param // gates: (In, 2H), (H, 2H)
+	bg       *Param // (2H)
+	wxc, whc *Param // candidate: (In, H), (H, H)
+	bc       *Param // (H)
+
+	// per-timestep caches for backward
+	xs, hs, rs, zs, cs, hrs []*tensor.Tensor
+	bsz                     int
+}
+
+// NewGRU creates a GRU for sequences of exactly T steps of In features.
+func NewGRU(rng *rand.Rand, in, hidden, t int) *GRU {
+	return &GRU{
+		In: in, Hidden: hidden, T: t,
+		wxg: newParam("gru.wxg", tensor.GlorotUniform(rng, in, hidden, in, 2*hidden)),
+		whg: newParam("gru.whg", tensor.GlorotUniform(rng, hidden, hidden, hidden, 2*hidden)),
+		bg:  newParam("gru.bg", tensor.New(2*hidden)),
+		wxc: newParam("gru.wxc", tensor.GlorotUniform(rng, in, hidden, in, hidden)),
+		whc: newParam("gru.whc", tensor.GlorotUniform(rng, hidden, hidden, hidden, hidden)),
+		bc:  newParam("gru.bc", tensor.New(hidden)),
+	}
+}
+
+// Forward unrolls the recurrence:
+//
+//	r,z = σ(x·Wxg + h·Whg + bg)
+//	c   = tanh(x·Wxc + (r⊙h)·Whc + bc)
+//	h'  = (1-z)⊙h + z⊙c
+func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz := x.Dim(0)
+	if x.Dim(1) != g.T*g.In {
+		panic(fmt.Sprintf("nn: GRU input width %d, want T·In = %d", x.Dim(1), g.T*g.In))
+	}
+	g.bsz = bsz
+	H := g.Hidden
+	g.xs = g.xs[:0]
+	g.hs = append(g.hs[:0], tensor.New(bsz, H)) // h_0 = 0
+	g.rs, g.zs, g.cs, g.hrs = g.rs[:0], g.zs[:0], g.cs[:0], g.hrs[:0]
+
+	for t := 0; t < g.T; t++ {
+		xt := tensor.New(bsz, g.In)
+		for r := 0; r < bsz; r++ {
+			copy(xt.Row(r), x.Row(r)[t*g.In:(t+1)*g.In])
+		}
+		g.xs = append(g.xs, xt)
+		hPrev := g.hs[t]
+
+		gates := tensor.MatMul(xt, g.wxg.W)
+		gates.AddInPlace(tensor.MatMul(hPrev, g.whg.W))
+		gates.AddRowVector(g.bg.W.Data)
+
+		rt, zt := tensor.New(bsz, H), tensor.New(bsz, H)
+		hr := tensor.New(bsz, H)
+		for r := 0; r < bsz; r++ {
+			grow := gates.Row(r)
+			for j := 0; j < H; j++ {
+				rv := sigmoid(grow[j])
+				zv := sigmoid(grow[H+j])
+				rt.Row(r)[j], zt.Row(r)[j] = rv, zv
+				hr.Row(r)[j] = rv * hPrev.Row(r)[j]
+			}
+		}
+
+		cand := tensor.MatMul(xt, g.wxc.W)
+		cand.AddInPlace(tensor.MatMul(hr, g.whc.W))
+		cand.AddRowVector(g.bc.W.Data)
+		ct, ht := tensor.New(bsz, H), tensor.New(bsz, H)
+		for r := 0; r < bsz; r++ {
+			for j := 0; j < H; j++ {
+				cv := math.Tanh(cand.Row(r)[j])
+				zv := zt.Row(r)[j]
+				ct.Row(r)[j] = cv
+				ht.Row(r)[j] = (1-zv)*hPrev.Row(r)[j] + zv*cv
+			}
+		}
+		g.rs, g.zs, g.cs, g.hrs = append(g.rs, rt), append(g.zs, zt), append(g.cs, ct), append(g.hrs, hr)
+		g.hs = append(g.hs, ht)
+	}
+	return g.hs[g.T]
+}
+
+// Backward runs backpropagation through time from the final hidden state.
+func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	bsz, H := g.bsz, g.Hidden
+	dx := tensor.New(bsz, g.T*g.In)
+	dh := dout.Clone()
+
+	for t := g.T - 1; t >= 0; t-- {
+		rt, zt, ct, hr := g.rs[t], g.zs[t], g.cs[t], g.hrs[t]
+		hPrev := g.hs[t]
+		dgates := tensor.New(bsz, 2*H) // pre-activation grads for r, z
+		dcand := tensor.New(bsz, H)    // pre-activation grad for candidate
+		dhPrevPartial := tensor.New(bsz, H)
+		for r := 0; r < bsz; r++ {
+			for j := 0; j < H; j++ {
+				dhv := dh.Row(r)[j]
+				zv, cv, hv := zt.Row(r)[j], ct.Row(r)[j], hPrev.Row(r)[j]
+				dz := dhv * (cv - hv)
+				dc := dhv * zv
+				dhPrevPartial.Row(r)[j] = dhv * (1 - zv)
+				dcand.Row(r)[j] = dc * (1 - cv*cv)
+				dgates.Row(r)[H+j] = dz * zv * (1 - zv)
+			}
+		}
+		// Candidate path: dWxc, dWhc, dbc; gradient into hr and x.
+		g.wxc.G.AddInPlace(tensor.MatMulTransA(g.xs[t], dcand))
+		g.whc.G.AddInPlace(tensor.MatMulTransA(hr, dcand))
+		for j, v := range tensor.ColSums(dcand) {
+			g.bc.G.Data[j] += v
+		}
+		dhr := tensor.MatMulTransB(dcand, g.whc.W)
+		dxt := tensor.MatMulTransB(dcand, g.wxc.W)
+		// hr = r ⊙ hPrev → gradients into r gate and hPrev.
+		for r := 0; r < bsz; r++ {
+			for j := 0; j < H; j++ {
+				rv, hv := rt.Row(r)[j], hPrev.Row(r)[j]
+				dr := dhr.Row(r)[j] * hv
+				dhPrevPartial.Row(r)[j] += dhr.Row(r)[j] * rv
+				dgates.Row(r)[j] = dr * rv * (1 - rv)
+			}
+		}
+		// Gate path: dWxg, dWhg, dbg; gradients into x and hPrev.
+		g.wxg.G.AddInPlace(tensor.MatMulTransA(g.xs[t], dgates))
+		g.whg.G.AddInPlace(tensor.MatMulTransA(hPrev, dgates))
+		for j, v := range tensor.ColSums(dgates) {
+			g.bg.G.Data[j] += v
+		}
+		dxt.AddInPlace(tensor.MatMulTransB(dgates, g.wxg.W))
+		dhPrevPartial.AddInPlace(tensor.MatMulTransB(dgates, g.whg.W))
+
+		for r := 0; r < bsz; r++ {
+			copy(dx.Row(r)[t*g.In:(t+1)*g.In], dxt.Row(r))
+		}
+		dh = dhPrevPartial
+	}
+	return dx
+}
+
+// Params returns the gate and candidate parameters.
+func (g *GRU) Params() []*Param {
+	return []*Param{g.wxg, g.whg, g.bg, g.wxc, g.whc, g.bc}
+}
+
+// NewTextGRU builds a GRU-based text classifier with the same shape as
+// NewTextLSTM: embedding, GRU, tanh FC feature layer, linear head.
+func NewTextGRU(spec TextSpec, embedDim, hidden, featureDim int) Builder {
+	return func(seed int64) *Network {
+		rng := rand.New(rand.NewSource(seed))
+		feat := NewSequential(
+			NewEmbedding(rng, spec.Vocab, embedDim),
+			NewGRU(rng, embedDim, hidden, spec.T),
+			NewDense(rng, hidden, featureDim),
+			NewTanh(),
+		)
+		head := NewDense(rng, featureDim, spec.Classes)
+		return NewNetwork(feat, head, featureDim)
+	}
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LayerNorm normalizes each row of the activations to zero mean and unit
+// variance, then applies a learned affine transform (gain, bias). Unlike
+// batch normalization, it carries no cross-sample running statistics, which
+// makes it the normalization of choice in federated learning: client models
+// stay exchangeable under weighted averaging with no private statistics to
+// reconcile.
+type LayerNorm struct {
+	Dim int
+	Eps float64
+
+	g, b *Param
+
+	// caches for backward
+	x      *tensor.Tensor
+	norm   *tensor.Tensor // normalized pre-affine activations
+	invStd []float64
+}
+
+// NewLayerNorm creates a layer normalization over dim-wide activations,
+// initialized to the identity transform (gain 1, bias 0).
+func NewLayerNorm(dim int) *LayerNorm {
+	g := tensor.New(dim)
+	g.Fill(1)
+	return &LayerNorm{
+		Dim: dim,
+		Eps: 1e-5,
+		g:   &Param{Name: "ln.g", W: g, G: tensor.New(dim)},
+		b:   newParam("ln.b", tensor.New(dim)),
+	}
+}
+
+// Forward normalizes each row and applies gain/bias.
+func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, d := x.Dim(0), x.Dim(1)
+	l.x = x
+	l.norm = tensor.New(n, d)
+	if cap(l.invStd) < n {
+		l.invStd = make([]float64, n)
+	}
+	l.invStd = l.invStd[:n]
+	out := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		vr := 0.0
+		for _, v := range row {
+			dv := v - mean
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		inv := 1 / math.Sqrt(vr+l.Eps)
+		l.invStd[i] = inv
+		nrow, orow := l.norm.Row(i), out.Row(i)
+		for j, v := range row {
+			nrow[j] = (v - mean) * inv
+			orow[j] = nrow[j]*l.g.W.Data[j] + l.b.W.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward computes gain/bias gradients and the input gradient through the
+// normalization.
+func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, d := dout.Dim(0), dout.Dim(1)
+	dx := tensor.New(n, d)
+	fd := float64(d)
+	for i := 0; i < n; i++ {
+		drow, nrow := dout.Row(i), l.norm.Row(i)
+		// dnorm_j = dout_j · g_j ; accumulate param grads.
+		sumD, sumDN := 0.0, 0.0
+		dnorm := make([]float64, d)
+		for j := 0; j < d; j++ {
+			l.g.G.Data[j] += drow[j] * nrow[j]
+			l.b.G.Data[j] += drow[j]
+			dnorm[j] = drow[j] * l.g.W.Data[j]
+			sumD += dnorm[j]
+			sumDN += dnorm[j] * nrow[j]
+		}
+		inv := l.invStd[i]
+		xrow := dx.Row(i)
+		for j := 0; j < d; j++ {
+			// Standard layer-norm backward:
+			// dx = inv/d · (d·dnorm - Σdnorm - norm·Σ(dnorm·norm))
+			xrow[j] = inv / fd * (fd*dnorm[j] - sumD - nrow[j]*sumDN)
+		}
+	}
+	return dx
+}
+
+// Params returns the gain and bias.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.g, l.b} }

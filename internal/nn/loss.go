@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (batch, classes) against integer labels, and the gradient of that loss
+// with respect to the logits: (softmax - onehot)/batch. It is numerically
+// stabilized by subtracting each row's max logit.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	bsz, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != bsz {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), bsz))
+	}
+	grad := tensor.New(bsz, k)
+	loss := 0.0
+	inv := 1.0 / float64(bsz)
+	for i := 0; i < bsz; i++ {
+		row := logits.Row(i)
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d outside %d classes", y, k))
+		}
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		g := grad.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		for j := range g {
+			g[j] = g[j] / sum * inv
+		}
+		loss += -(row[y] - maxv - math.Log(sum)) * inv
+		g[y] -= inv
+	}
+	return loss, grad
+}
+
+// Softmax returns the row-wise softmax of logits as a new tensor.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	bsz, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(bsz, k)
+	for i := 0; i < bsz; i++ {
+		row := logits.Row(i)
+		o := out.Row(i)
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			o[j] = math.Exp(v - maxv)
+			sum += o[j]
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows whose argmax logit equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	bsz := logits.Dim(0)
+	correct := 0
+	for i := 0; i < bsz; i++ {
+		if tensor.MaxIndex(logits.Row(i)) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(bsz)
+}

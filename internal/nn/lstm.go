@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network. The input is a
+// (batch, T·In) tensor of T concatenated step vectors (the layout Embedding
+// produces); the output is the final hidden state (batch, Hidden). Gates are
+// packed in the order input, forget, cell candidate, output (i, f, g, o)
+// along the 4·Hidden axis of the weight matrices.
+type LSTM struct {
+	In, Hidden, T int
+
+	wx, wh, b *Param
+
+	// per-timestep caches for backpropagation through time
+	xs, hs, cs, is, fs, gs, os, tcs []*tensor.Tensor
+	bsz                             int
+}
+
+// NewLSTM creates an LSTM for sequences of exactly T steps of In features.
+// The forget-gate bias is initialized to 1, the standard trick that keeps
+// long-range gradients alive early in training.
+func NewLSTM(rng *rand.Rand, in, hidden, t int) *LSTM {
+	b := tensor.New(4 * hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Data[j] = 1
+	}
+	return &LSTM{
+		In: in, Hidden: hidden, T: t,
+		wx: newParam("lstm.wx", tensor.GlorotUniform(rng, in, hidden, in, 4*hidden)),
+		wh: newParam("lstm.wh", tensor.GlorotUniform(rng, hidden, hidden, hidden, 4*hidden)),
+		b:  &Param{Name: "lstm.b", W: b, G: tensor.New(4 * hidden)},
+	}
+}
+
+// Forward unrolls the recurrence for T steps and returns the last hidden
+// state.
+func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	bsz := x.Dim(0)
+	if x.Dim(1) != l.T*l.In {
+		panic(fmt.Sprintf("nn: LSTM input width %d, want T·In = %d", x.Dim(1), l.T*l.In))
+	}
+	l.bsz = bsz
+	H := l.Hidden
+	l.xs = l.xs[:0]
+	l.hs = append(l.hs[:0], tensor.New(bsz, H)) // h_0 = 0
+	l.cs = append(l.cs[:0], tensor.New(bsz, H)) // c_0 = 0
+	l.is, l.fs, l.gs, l.os, l.tcs = l.is[:0], l.fs[:0], l.gs[:0], l.os[:0], l.tcs[:0]
+
+	for t := 0; t < l.T; t++ {
+		xt := tensor.New(bsz, l.In)
+		for r := 0; r < bsz; r++ {
+			copy(xt.Row(r), x.Row(r)[t*l.In:(t+1)*l.In])
+		}
+		l.xs = append(l.xs, xt)
+
+		z := tensor.MatMul(xt, l.wx.W)
+		z.AddInPlace(tensor.MatMul(l.hs[t], l.wh.W))
+		z.AddRowVector(l.b.W.Data)
+
+		it, ft, gt, ot := tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H)
+		ct, ht, tct := tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H)
+		cPrev := l.cs[t]
+		for r := 0; r < bsz; r++ {
+			zr := z.Row(r)
+			for j := 0; j < H; j++ {
+				iv := sigmoid(zr[j])
+				fv := sigmoid(zr[H+j])
+				gv := math.Tanh(zr[2*H+j])
+				ov := sigmoid(zr[3*H+j])
+				cv := fv*cPrev.Row(r)[j] + iv*gv
+				tc := math.Tanh(cv)
+				it.Row(r)[j], ft.Row(r)[j], gt.Row(r)[j], ot.Row(r)[j] = iv, fv, gv, ov
+				ct.Row(r)[j], tct.Row(r)[j] = cv, tc
+				ht.Row(r)[j] = ov * tc
+			}
+		}
+		l.is, l.fs, l.gs, l.os = append(l.is, it), append(l.fs, ft), append(l.gs, gt), append(l.os, ot)
+		l.cs, l.tcs, l.hs = append(l.cs, ct), append(l.tcs, tct), append(l.hs, ht)
+	}
+	return l.hs[l.T]
+}
+
+// Backward runs backpropagation through time from the final hidden state's
+// gradient and returns the gradient with respect to the input sequence.
+func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	bsz, H := l.bsz, l.Hidden
+	dx := tensor.New(bsz, l.T*l.In)
+	dh := dout.Clone()
+	dc := tensor.New(bsz, H)
+
+	for t := l.T - 1; t >= 0; t-- {
+		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
+		tct, cPrev := l.tcs[t], l.cs[t]
+		dz := tensor.New(bsz, 4*H)
+		dcPrev := tensor.New(bsz, H)
+		for r := 0; r < bsz; r++ {
+			dhr, dcr := dh.Row(r), dc.Row(r)
+			ir, fr, gr, or := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
+			tcr, cpr := tct.Row(r), cPrev.Row(r)
+			dzr, dcpR := dz.Row(r), dcPrev.Row(r)
+			for j := 0; j < H; j++ {
+				do := dhr[j] * tcr[j]
+				dcv := dcr[j] + dhr[j]*or[j]*(1-tcr[j]*tcr[j])
+				di := dcv * gr[j]
+				df := dcv * cpr[j]
+				dg := dcv * ir[j]
+				dcpR[j] = dcv * fr[j]
+				dzr[j] = di * ir[j] * (1 - ir[j])
+				dzr[H+j] = df * fr[j] * (1 - fr[j])
+				dzr[2*H+j] = dg * (1 - gr[j]*gr[j])
+				dzr[3*H+j] = do * or[j] * (1 - or[j])
+			}
+		}
+
+		l.wx.G.AddInPlace(tensor.MatMulTransA(l.xs[t], dz))
+		l.wh.G.AddInPlace(tensor.MatMulTransA(l.hs[t], dz))
+		for j, v := range tensor.ColSums(dz) {
+			l.b.G.Data[j] += v
+		}
+
+		dxt := tensor.MatMulTransB(dz, l.wx.W)
+		for r := 0; r < bsz; r++ {
+			copy(dx.Row(r)[t*l.In:(t+1)*l.In], dxt.Row(r))
+		}
+		dh = tensor.MatMulTransB(dz, l.wh.W)
+		dc = dcPrev
+	}
+	return dx
+}
+
+// Params returns the input weights, recurrent weights, and bias.
+func (l *LSTM) Params() []*Param { return []*Param{l.wx, l.wh, l.b} }

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ImageSpec describes a channel-major image classification task.
+type ImageSpec struct {
+	C, H, W int
+	Classes int
+}
+
+// InFeatures returns the flattened input width C·H·W.
+func (s ImageSpec) InFeatures() int { return s.C * s.H * s.W }
+
+// NewImageCNN builds the CNN used for the image benchmarks, the analogue of
+// the paper's MNIST/CIFAR10 model: two conv+ReLU blocks with max pooling, a
+// fully connected feature layer of width featureDim (the paper's "last FC
+// layer" whose activations feed the MMD regularizer), and a linear head.
+//
+// The spatial plumbing requires H and W divisible by 2 and at least 6.
+func NewImageCNN(spec ImageSpec, featureDim int) Builder {
+	return func(seed int64) *Network {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := NewConv2D(rng, spec.C, spec.H, spec.W, 8, 3, 1, 1)
+		p1 := NewMaxPool2D(8, c1.OutH, c1.OutW, 2)
+		if p1.OutH < 3 || p1.OutW < 3 {
+			panic(fmt.Sprintf("nn: image %dx%d too small for the CNN", spec.H, spec.W))
+		}
+		c2 := NewConv2D(rng, 8, p1.OutH, p1.OutW, 16, 3, 1, 1)
+		var feat *Sequential
+		var flatW int
+		if c2.OutH%2 == 0 && c2.OutW%2 == 0 {
+			p2 := NewMaxPool2D(16, c2.OutH, c2.OutW, 2)
+			flatW = p2.OutFeatures()
+			feat = NewSequential(c1, NewReLU(), p1, c2, NewReLU(), p2,
+				NewDense(rng, flatW, featureDim), NewReLU())
+		} else {
+			flatW = c2.OutFeatures()
+			feat = NewSequential(c1, NewReLU(), p1, c2, NewReLU(),
+				NewDense(rng, flatW, featureDim), NewReLU())
+		}
+		head := NewDense(rng, featureDim, spec.Classes)
+		return NewNetwork(feat, head, featureDim)
+	}
+}
+
+// TextSpec describes a fixed-length token sequence classification task.
+type TextSpec struct {
+	Vocab   int
+	T       int // sequence length
+	Classes int
+}
+
+// NewTextLSTM builds the recurrent model used for the sentiment benchmark,
+// the analogue of the paper's Sent140 model: embedding, LSTM, a tanh FC
+// feature layer of width featureDim, and a linear head.
+func NewTextLSTM(spec TextSpec, embedDim, hidden, featureDim int) Builder {
+	return func(seed int64) *Network {
+		rng := rand.New(rand.NewSource(seed))
+		feat := NewSequential(
+			NewEmbedding(rng, spec.Vocab, embedDim),
+			NewLSTM(rng, embedDim, hidden, spec.T),
+			NewDense(rng, hidden, featureDim),
+			NewTanh(),
+		)
+		head := NewDense(rng, featureDim, spec.Classes)
+		return NewNetwork(feat, head, featureDim)
+	}
+}
+
+// NewMLP builds a small multilayer perceptron: in → hidden(ReLU) →
+// featureDim(ReLU) → classes. It is the cheap model used by unit tests and
+// the quickstart example.
+func NewMLP(in, hidden, featureDim, classes int) Builder {
+	return func(seed int64) *Network {
+		rng := rand.New(rand.NewSource(seed))
+		feat := NewSequential(
+			NewDense(rng, in, hidden), NewReLU(),
+			NewDense(rng, hidden, featureDim), NewReLU(),
+		)
+		head := NewDense(rng, featureDim, classes)
+		return NewNetwork(feat, head, featureDim)
+	}
+}

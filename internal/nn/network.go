@@ -1,0 +1,85 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Network is a model split into the feature mapping φ(·; w̃) and a
+// classification head on top of it — the parameter decomposition
+// w = (w̃, w̿) that the paper's distribution regularizer is defined on.
+// The feature extractor's output (the activations of the last FC layer
+// before the classifier) is exactly what the δ maps average.
+type Network struct {
+	Feature    *Sequential
+	Head       Layer
+	FeatureDim int
+
+	feat *tensor.Tensor // cached φ output for Backward
+}
+
+// NewNetwork assembles a network from a feature extractor producing
+// featureDim-wide activations and a head.
+func NewNetwork(feature *Sequential, head Layer, featureDim int) *Network {
+	return &Network{Feature: feature, Head: head, FeatureDim: featureDim}
+}
+
+// Forward returns both the feature activations φ(x) and the logits.
+func (n *Network) Forward(x *tensor.Tensor, train bool) (feat, logits *tensor.Tensor) {
+	feat = n.Feature.Forward(x, train)
+	n.feat = feat
+	logits = n.Head.Forward(feat, train)
+	return feat, logits
+}
+
+// LastFeatures returns the feature activations cached by the most recent
+// Forward call. The distribution regularizer reads them to form its
+// feature-level gradient.
+func (n *Network) LastFeatures() *tensor.Tensor { return n.feat }
+
+// Features runs only the feature extractor (evaluation mode).
+func (n *Network) Features(x *tensor.Tensor) *tensor.Tensor {
+	return n.Feature.Forward(x, false)
+}
+
+// Predict runs a full forward pass in evaluation mode and returns logits.
+func (n *Network) Predict(x *tensor.Tensor) *tensor.Tensor {
+	_, logits := n.Forward(x, false)
+	return logits
+}
+
+// Backward accumulates gradients given the loss gradient with respect to
+// the logits, plus an optional extra gradient with respect to the features
+// (the distribution regularizer's contribution, which attaches at φ's
+// output rather than at the logits).
+func (n *Network) Backward(dlogits, dfeatExtra *tensor.Tensor) {
+	dfeat := n.Head.Backward(dlogits)
+	if dfeatExtra != nil {
+		dfeat.AddInPlace(dfeatExtra)
+	}
+	n.Feature.Backward(dfeat)
+}
+
+// Params returns all parameters, feature extractor first, then head. The
+// flat-vector layout used for aggregation and transport follows this order.
+func (n *Network) Params() []*Param {
+	return append(append([]*Param(nil), n.Feature.Params()...), n.Head.Params()...)
+}
+
+// FeatureParams returns only w̃, the parameters of φ.
+func (n *Network) FeatureParams() []*Param { return n.Feature.Params() }
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int { return NumElements(n.Params()) }
+
+// ZeroGrad clears all gradient accumulators.
+func (n *Network) ZeroGrad() { ZeroGrad(n.Params()) }
+
+// GetFlat copies the parameters into a new flat vector.
+func (n *Network) GetFlat() []float64 { return Flatten(n.Params()) }
+
+// SetFlat loads parameters from a flat vector produced by GetFlat on a
+// network with the same architecture.
+func (n *Network) SetFlat(v []float64) { Unflatten(n.Params(), v) }
+
+// Builder constructs a fresh network of a fixed architecture from a seed.
+// All worker replicas in a federated run are created through the same
+// Builder with the same seed, so they agree on shapes and the flat layout.
+type Builder func(seed int64) *Network

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/tensor"
+)
+
+// Checkpointing: a network's parameters are written as a small header (magic,
+// version, parameter count) followed by each parameter tensor in the tensor
+// wire format. Architecture is not serialized — load into a network built by
+// the same Builder, which the format verifies via per-parameter shapes.
+
+const (
+	checkpointMagic   = 0x52464156 // "RFAV"
+	checkpointVersion = 1
+)
+
+// Save writes the network's parameters to w.
+func (n *Network) Save(w io.Writer) error {
+	params := n.Params()
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(params)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
+	}
+	for _, p := range params {
+		if err := p.W.Encode(w); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load reads parameters written by Save into the network. Every tensor's
+// shape must match the corresponding parameter, so loading a checkpoint
+// into a different architecture fails loudly instead of corrupting weights.
+func (n *Network) Load(r io.Reader) error {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	params := n.Params()
+	if got := int(binary.LittleEndian.Uint32(hdr[8:])); got != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", got, len(params))
+	}
+	// Decode everything before mutating, so a truncated file cannot leave
+	// the network half-loaded.
+	loaded := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		t, err := tensor.Decode(r)
+		if err != nil {
+			return fmt.Errorf("nn: load %s: %w", p.Name, err)
+		}
+		if !t.SameShape(p.W) {
+			return fmt.Errorf("nn: checkpoint shape %v for %s, want %v", t.Shape(), p.Name, p.W.Shape())
+		}
+		loaded[i] = t
+	}
+	for i, p := range params {
+		p.W.CopyFrom(loaded[i])
+	}
+	return nil
+}

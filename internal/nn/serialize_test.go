@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := NewImageCNN(ImageSpec{C: 1, H: 8, W: 8, Classes: 4}, 16)(1)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewImageCNN(ImageSpec{C: 1, H: 8, W: 8, Classes: 4}, 16)(99) // different init
+	if err := other.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.GetFlat(), other.GetFlat()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded parameters differ")
+		}
+	}
+	// Identical predictions after load.
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 1, 3, 64)
+	pa, pb := net.Predict(x), other.Predict(x)
+	for i := range pa.Data {
+		if pa.Data[i] != pb.Data[i] {
+			t.Fatal("predictions differ after load")
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	src := NewMLP(4, 8, 4, 2)(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Same parameter count of tensors but different shapes.
+	dst := NewMLP(5, 8, 4, 2)(1)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong-architecture load accepted")
+	}
+	// The failed load must not have touched dst.
+	before := NewMLP(5, 8, 4, 2)(1).GetFlat()
+	after := dst.GetFlat()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("failed load mutated parameters")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	net := NewMLP(4, 8, 4, 2)(1)
+	if err := net.Load(bytes.NewReader([]byte("not a checkpoint, definitely"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated checkpoint.
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestLoadRejectsWrongParamCount(t *testing.T) {
+	src := NewMLP(4, 8, 4, 2)(1) // 6 params (3 dense layers)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewNetwork(NewSequential(NewDense(rand.New(rand.NewSource(1)), 4, 4)), NewDense(rand.New(rand.NewSource(2)), 4, 2), 4)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("wrong parameter count accepted")
+	}
+}

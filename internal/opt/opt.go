@@ -1,0 +1,208 @@
+// Package opt implements the optimizers and learning-rate schedules used in
+// the paper's experiments: plain SGD (the FedAvg local solver), SGD with
+// momentum, RMSProp (the Sent140 local solver), Adam, the theoretical
+// schedule η_t = 2/(μ(γ+t)) from the convergence analysis, and global-norm
+// gradient clipping.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+// Implementations keep per-parameter state indexed by position, so an
+// optimizer instance must always be used with the same parameter list.
+type Optimizer interface {
+	// Step applies one update with learning rate lr and clears nothing;
+	// callers zero gradients themselves.
+	Step(params []*nn.Param, lr float64)
+	// Reset clears internal state (momentum, moment estimates), used when a
+	// client restarts local training from a fresh global model.
+	Reset()
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight
+// decay. With Momentum == 0 it is the plain update w ← w - lr·g used by
+// FedAvg's local solver.
+type SGD struct {
+	Momentum    float64
+	WeightDecay float64
+	velocity    [][]float64
+}
+
+// NewSGD creates a plain SGD optimizer.
+func NewSGD() *SGD { return &SGD{} }
+
+// NewSGDMomentum creates SGD with the given momentum coefficient.
+func NewSGDMomentum(momentum float64) *SGD { return &SGD{Momentum: momentum} }
+
+// Step applies w ← w - lr·(g + wd·w), with momentum buffering when enabled.
+func (s *SGD) Step(params []*nn.Param, lr float64) {
+	if s.Momentum == 0 {
+		for _, p := range params {
+			w, g := p.W.Data, p.G.Data
+			if s.WeightDecay != 0 {
+				for i := range w {
+					w[i] -= lr * (g[i] + s.WeightDecay*w[i])
+				}
+			} else {
+				for i := range w {
+					w[i] -= lr * g[i]
+				}
+			}
+		}
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = allocState(params)
+	}
+	for k, p := range params {
+		w, g, v := p.W.Data, p.G.Data, s.velocity[k]
+		for i := range w {
+			gi := g[i]
+			if s.WeightDecay != 0 {
+				gi += s.WeightDecay * w[i]
+			}
+			v[i] = s.Momentum*v[i] + gi
+			w[i] -= lr * v[i]
+		}
+	}
+}
+
+// Reset clears the momentum buffers.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// RMSProp is the RMSProp optimizer (Tieleman & Hinton), the local solver
+// the paper uses for the Sent140 LSTM.
+type RMSProp struct {
+	Alpha float64 // moving-average coefficient, default 0.99
+	Eps   float64
+	sq    [][]float64
+}
+
+// NewRMSProp creates an RMSProp optimizer with the PyTorch defaults
+// (alpha 0.99, eps 1e-8).
+func NewRMSProp() *RMSProp { return &RMSProp{Alpha: 0.99, Eps: 1e-8} }
+
+// Step applies the RMSProp update.
+func (r *RMSProp) Step(params []*nn.Param, lr float64) {
+	if r.sq == nil {
+		r.sq = allocState(params)
+	}
+	for k, p := range params {
+		w, g, sq := p.W.Data, p.G.Data, r.sq[k]
+		for i := range w {
+			sq[i] = r.Alpha*sq[i] + (1-r.Alpha)*g[i]*g[i]
+			w[i] -= lr * g[i] / (math.Sqrt(sq[i]) + r.Eps)
+		}
+	}
+}
+
+// Reset clears the squared-gradient accumulators.
+func (r *RMSProp) Reset() { r.sq = nil }
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	Beta1, Beta2, Eps float64
+	m, v              [][]float64
+	t                 int
+}
+
+// NewAdam creates an Adam optimizer with the standard defaults.
+func NewAdam() *Adam { return &Adam{Beta1: 0.9, Beta2: 0.999, Eps: 1e-8} }
+
+// Step applies the Adam update.
+func (a *Adam) Step(params []*nn.Param, lr float64) {
+	if a.m == nil {
+		a.m = allocState(params)
+		a.v = allocState(params)
+		a.t = 0
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for k, p := range params {
+		w, g, m, v := p.W.Data, p.G.Data, a.m[k], a.v[k]
+		for i := range w {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			w[i] -= lr * (m[i] / c1) / (math.Sqrt(v[i]/c2) + a.Eps)
+		}
+	}
+}
+
+// Reset clears the moment estimates and the step counter.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+func allocState(params []*nn.Param) [][]float64 {
+	st := make([][]float64, len(params))
+	for i, p := range params {
+		st[i] = make([]float64, p.W.Size())
+	}
+	return st
+}
+
+// ClipGradNorm rescales all gradients so their global L2 norm is at most
+// maxNorm, and returns the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.G.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}
+
+// Schedule maps a global step index to a learning rate.
+type Schedule interface {
+	LR(t int) float64
+}
+
+// ConstLR is a constant learning rate.
+type ConstLR float64
+
+// LR returns the constant rate.
+func (c ConstLR) LR(t int) float64 { return float64(c) }
+
+// InverseDecayLR is the schedule from the paper's convergence theorems:
+// η_t = 2/(μ(γ+t)) with γ = max(8L/μ, E). It is what the convex-validation
+// experiments use; the neural benchmarks use ConstLR as in the paper.
+type InverseDecayLR struct {
+	Mu    float64
+	Gamma float64
+}
+
+// NewTheoremLR builds the theorem's schedule from the strong-convexity and
+// smoothness constants and the number of local steps E.
+func NewTheoremLR(mu, l float64, e int) InverseDecayLR {
+	gamma := 8 * l / mu
+	if g := float64(e); g > gamma {
+		gamma = g
+	}
+	return InverseDecayLR{Mu: mu, Gamma: gamma}
+}
+
+// LR returns 2/(μ(γ+t)).
+func (s InverseDecayLR) LR(t int) float64 { return 2 / (s.Mu * (s.Gamma + float64(t))) }
+
+// StepDecayLR multiplies Base by Factor every Every steps.
+type StepDecayLR struct {
+	Base   float64
+	Factor float64
+	Every  int
+}
+
+// LR returns Base·Factor^⌊t/Every⌋.
+func (s StepDecayLR) LR(t int) float64 {
+	return s.Base * math.Pow(s.Factor, float64(t/s.Every))
+}

@@ -1,0 +1,70 @@
+// Package privacy implements the Gaussian mechanism the paper applies to
+// the intermediate regularization variable δ in its privacy evaluation
+// (Sec. VI-B.8, following Abadi et al., CCS 2016): each client clips its
+// map to L2 norm C and adds N(0, σ²C²/L²) noise per coordinate before
+// sending it to the server, where L is the batch (dataset) size used to
+// average the map.
+package privacy
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GaussianMechanism perturbs δ vectors for differential privacy.
+type GaussianMechanism struct {
+	// Sigma is the noise multiplier σ₂ of Fig. 12.
+	Sigma float64
+	// Clip is the clipping constant C₀; values ≤ 0 disable clipping.
+	Clip float64
+	// L is the averaging denominator (the paper's batch size L); values
+	// ≤ 0 mean 1.
+	L int
+}
+
+// NewGaussianMechanism creates a mechanism with the given noise multiplier,
+// clipping constant, and batch size.
+func NewGaussianMechanism(sigma, clip float64, l int) *GaussianMechanism {
+	return &GaussianMechanism{Sigma: sigma, Clip: clip, L: l}
+}
+
+// Apply perturbs delta in place: δ̃ ← clip(δ, C) + (1/L)·N(0, σ²C²·I).
+func (g *GaussianMechanism) Apply(delta []float64, rng *rand.Rand) {
+	c := g.Clip
+	if c > 0 {
+		norm := 0.0
+		for _, v := range delta {
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm > c {
+			scale := c / norm
+			for i := range delta {
+				delta[i] *= scale
+			}
+		}
+	} else {
+		c = 1
+	}
+	l := float64(g.L)
+	if l <= 0 {
+		l = 1
+	}
+	std := g.Sigma * c / l
+	for i := range delta {
+		delta[i] += rng.NormFloat64() * std
+	}
+}
+
+// NoiseStd returns the per-coordinate noise standard deviation σ·C/L.
+func (g *GaussianMechanism) NoiseStd() float64 {
+	c := g.Clip
+	if c <= 0 {
+		c = 1
+	}
+	l := float64(g.L)
+	if l <= 0 {
+		l = 1
+	}
+	return g.Sigma * c / l
+}

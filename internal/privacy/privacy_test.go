@@ -1,0 +1,67 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestApplyClipsToNorm(t *testing.T) {
+	g := NewGaussianMechanism(0, 1.0, 1) // no noise, clip at 1
+	delta := []float64{3, 4}             // norm 5
+	g.Apply(delta, rand.New(rand.NewSource(1)))
+	norm := math.Hypot(delta[0], delta[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("clipped norm = %v, want 1", norm)
+	}
+	// Direction preserved.
+	if math.Abs(delta[0]/delta[1]-0.75) > 1e-12 {
+		t.Fatalf("direction changed: %v", delta)
+	}
+}
+
+func TestApplyLeavesSmallVectors(t *testing.T) {
+	g := NewGaussianMechanism(0, 10, 1)
+	delta := []float64{0.3, 0.4}
+	g.Apply(delta, rand.New(rand.NewSource(1)))
+	if delta[0] != 0.3 || delta[1] != 0.4 {
+		t.Fatalf("small vector clipped: %v", delta)
+	}
+}
+
+func TestApplyNoiseStatistics(t *testing.T) {
+	g := NewGaussianMechanism(5, 2, 4) // std = 5·2/4 = 2.5
+	if g.NoiseStd() != 2.5 {
+		t.Fatalf("NoiseStd = %v", g.NoiseStd())
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		delta := []float64{0}
+		g.Apply(delta, rng)
+		sum += delta[0]
+		sq += delta[0] * delta[0]
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean) > 0.1 || math.Abs(std-2.5) > 0.1 {
+		t.Fatalf("noise stats mean=%v std=%v, want 0, 2.5", mean, std)
+	}
+}
+
+func TestZeroSigmaIsClippingOnly(t *testing.T) {
+	g := NewGaussianMechanism(0, 0, 0) // defaults: clip disabled, L=1
+	delta := []float64{7, -8}
+	g.Apply(delta, rand.New(rand.NewSource(3)))
+	if delta[0] != 7 || delta[1] != -8 {
+		t.Fatalf("σ=0, no clip must be identity: %v", delta)
+	}
+}
+
+func TestNoiseStdDefaults(t *testing.T) {
+	g := NewGaussianMechanism(3, 0, 0)
+	if g.NoiseStd() != 3 {
+		t.Fatalf("NoiseStd with defaults = %v, want 3", g.NoiseStd())
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic: %s", what)
+		}
+	}()
+	f()
+}
+
+func TestStringForms(t *testing.T) {
+	small := FromSlice([]float64{1, 2}, 2)
+	if s := small.String(); !strings.Contains(s, "Tensor[2]") || !strings.Contains(s, "1") {
+		t.Fatalf("small String = %q", s)
+	}
+	big := New(5, 5)
+	if s := big.String(); !strings.Contains(s, "…") {
+		t.Fatalf("big String = %q (want elided form)", s)
+	}
+}
+
+func TestShapeAndIndexPanics(t *testing.T) {
+	a := New(2, 3)
+	expectPanic(t, "FromSlice size", func() { FromSlice([]float64{1}, 2) })
+	expectPanic(t, "index rank", func() { a.At(1) })
+	expectPanic(t, "CopyFrom shape", func() { a.CopyFrom(New(3, 2)) })
+	expectPanic(t, "Row rank", func() { New(2).Row(0) })
+	expectPanic(t, "Add shape", func() { Add(a, New(3, 2)) })
+	expectPanic(t, "Axpy shape", func() { a.Axpy(1, New(3, 2)) })
+	expectPanic(t, "Dot size", func() { Dot(a, New(2)) })
+	expectPanic(t, "SquaredDistance size", func() { SquaredDistance(a, New(2)) })
+	expectPanic(t, "ColMean rank", func() { ColMean(New(2)) })
+	expectPanic(t, "ColSums rank", func() { ColSums(New(2)) })
+	expectPanic(t, "AddRowVector width", func() { a.AddRowVector([]float64{1}) })
+	expectPanic(t, "MatMul rank", func() { MatMul(New(2), New(2, 2)) })
+	expectPanic(t, "MatMulTransA inner", func() { MatMulTransA(New(2, 3), New(3, 2)) })
+	expectPanic(t, "MatMulTransB inner", func() { MatMulTransB(New(2, 3), New(2, 2)) })
+}
+
+func TestFillAndZero(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(3)
+	if a.Sum() != 12 {
+		t.Fatalf("Fill: %v", a.Data)
+	}
+	a.Zero()
+	if a.Sum() != 0 {
+		t.Fatalf("Zero: %v", a.Data)
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a, b := New(2, 2), FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	a.CopyFrom(b)
+	if a.At(1, 1) != 4 {
+		t.Fatal("CopyFrom")
+	}
+	b.Data[0] = 9
+	if a.Data[0] == 9 {
+		t.Fatal("CopyFrom must copy")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if New(2, 3).SameShape(New(2)) || New(2, 3).SameShape(New(3, 2)) {
+		t.Fatal("SameShape false positives")
+	}
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Fatal("SameShape false negative")
+	}
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of output elements before MatMul
+// fans work out to multiple goroutines; below it, the goroutine overhead
+// outweighs the parallelism.
+const parallelThreshold = 16 * 1024
+
+// MatMul returns a×b for rank-2 tensors with inner dimensions matching:
+// (m×k)·(k×n) → (m×n). Rows of the output are computed in parallel across
+// GOMAXPROCS workers when the problem is large enough.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := mustMatrix("MatMul lhs", a)
+	k2, n := mustMatrix("MatMul rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner mismatch (%d×%d)·(%d×%d)", m, k, k2, n))
+	}
+	out := New(m, n)
+	mulInto(out, a, b, m, k, n)
+	return out
+}
+
+// mulInto computes out = a·b with the classic ikj loop order, which keeps
+// the inner loop streaming over contiguous rows of b and out.
+func mulInto(out, a, b *Tensor, m, k, n int) {
+	parallelRows(m, m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB returns a×bᵀ: (m×k)·(n×k)ᵀ → (m×n). This is the natural
+// layout for the backward pass of a dense layer (dX = dY·Wᵀ) and avoids
+// materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := mustMatrix("MatMulTransB lhs", a)
+	n, k2 := mustMatrix("MatMulTransB rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch (%d×%d)·(%d×%d)ᵀ", m, k, n, k2))
+	}
+	out := New(m, n)
+	parallelRows(m, m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// MatMulTransA returns aᵀ×b: (k×m)ᵀ·(k×n) → (m×n). This is the natural
+// layout for weight gradients (dW = Xᵀ·dY).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := mustMatrix("MatMulTransA lhs", a)
+	k2, n := mustMatrix("MatMulTransA rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner mismatch (%d×%d)ᵀ·(%d×%d)", k, m, k2, n))
+	}
+	out := New(m, n)
+	// Accumulate over k with the output row indexed by a's column. Parallelize
+	// over output rows to keep writes disjoint.
+	parallelRows(m, m*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.Data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// parallelRows splits [0,m) into contiguous chunks and runs fn on each,
+// using goroutines only when the total work is above parallelThreshold.
+func parallelRows(m, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || m < 2 {
+		fn(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func mustMatrix(what string, t *Tensor) (rows, cols int) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s must be rank-2, got shape %v", what, t.shape))
+	}
+	return t.shape[0], t.shape[1]
+}

@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise as a new tensor.
+func Add(t, u *Tensor) *Tensor {
+	mustSameShape("Add", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] + u.Data[i]
+	}
+	return out
+}
+
+// Sub returns t - u elementwise as a new tensor.
+func Sub(t, u *Tensor) *Tensor {
+	mustSameShape("Sub", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] - u.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product t ⊙ u as a new tensor.
+func Mul(t, u *Tensor) *Tensor {
+	mustSameShape("Mul", t, u)
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] * u.Data[i]
+	}
+	return out
+}
+
+// Scale returns a*t as a new tensor.
+func Scale(t *Tensor, a float64) *Tensor {
+	out := New(t.shape...)
+	for i := range t.Data {
+		out.Data[i] = a * t.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets t += u.
+func (t *Tensor) AddInPlace(u *Tensor) {
+	mustSameShape("AddInPlace", t, u)
+	for i := range t.Data {
+		t.Data[i] += u.Data[i]
+	}
+}
+
+// SubInPlace sets t -= u.
+func (t *Tensor) SubInPlace(u *Tensor) {
+	mustSameShape("SubInPlace", t, u)
+	for i := range t.Data {
+		t.Data[i] -= u.Data[i]
+	}
+}
+
+// ScaleInPlace sets t *= a.
+func (t *Tensor) ScaleInPlace(a float64) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// Axpy sets t += a*u (the BLAS axpy primitive). It is the hot path of every
+// optimizer step and of federated aggregation.
+func (t *Tensor) Axpy(a float64, u *Tensor) {
+	mustSameShape("Axpy", t, u)
+	for i := range t.Data {
+		t.Data[i] += a * u.Data[i]
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
+
+// Dot returns the inner product of t and u viewed as flat vectors.
+func Dot(t, u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.Data), len(u.Data)))
+	}
+	s := 0.0
+	for i := range t.Data {
+		s += t.Data[i] * u.Data[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean (L2) norm of t viewed as a flat vector.
+func (t *Tensor) Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// SquaredDistance returns ||t-u||² over the flattened elements.
+func SquaredDistance(t, u *Tensor) float64 {
+	if len(t.Data) != len(u.Data) {
+		panic(fmt.Sprintf("tensor: SquaredDistance size mismatch %d vs %d", len(t.Data), len(u.Data)))
+	}
+	s := 0.0
+	for i := range t.Data {
+		d := t.Data[i] - u.Data[i]
+		s += d * d
+	}
+	return s
+}
+
+// MaxIndex returns the index of the largest element of a flat vector.
+func MaxIndex(v []float64) int {
+	best, arg := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, arg = x, i
+		}
+	}
+	return arg
+}
+
+// ColMean returns the per-column mean of a rank-2 tensor (n×d → d). It is
+// the δ (local feature map) primitive from the paper: the empirical mean of
+// φ(x) over a client's samples.
+func ColMean(t *Tensor) []float64 {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ColMean on rank-%d tensor", len(t.shape)))
+	}
+	n, d := t.shape[0], t.shape[1]
+	out := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	inv := 1.0 / float64(n)
+	for j := range out {
+		out[j] *= inv
+	}
+	return out
+}
+
+// AddRowVector adds the vector v to every row of the rank-2 tensor t in
+// place (bias addition).
+func (t *Tensor) AddRowVector(v []float64) {
+	if len(t.shape) != 2 || t.shape[1] != len(v) {
+		panic(fmt.Sprintf("tensor: AddRowVector %v + vec(%d)", t.shape, len(v)))
+	}
+	n, d := t.shape[0], t.shape[1]
+	for i := 0; i < n; i++ {
+		row := t.Data[i*d : (i+1)*d]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sum of a rank-2 tensor (bias gradient).
+func ColSums(t *Tensor) []float64 {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ColSums on rank-%d tensor", len(t.shape)))
+	}
+	n, d := t.shape[0], t.shape[1]
+	out := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := t.Data[i*d : (i+1)*d]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+func mustSameShape(op string, t, u *Tensor) {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, u.shape))
+	}
+}

@@ -1,0 +1,39 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal fills a new tensor of the given shape with N(0, std²) samples
+// drawn from rng.
+func RandNormal(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new tensor with Uniform[lo, hi) samples.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// GlorotUniform fills a new tensor with the Glorot/Xavier uniform
+// initialization for a layer with the given fan-in and fan-out. It is the
+// default initializer for dense and recurrent weight matrices.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return RandUniform(rng, -limit, limit, shape...)
+}
+
+// HeNormal fills a new tensor with the He normal initialization for a layer
+// with the given fan-in, the standard choice ahead of ReLU activations.
+func HeNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	return RandNormal(rng, math.Sqrt(2.0/float64(fanIn)), shape...)
+}

@@ -1,0 +1,93 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The wire format for a tensor is:
+//
+//	uint32 rank | rank × uint32 dims | size × float64 (little endian)
+//
+// It is used by the transport codec so that Table III's δ payload sizes are
+// measured on real encoded bytes rather than estimated.
+
+// EncodedSize returns the number of bytes Encode will write for t.
+func (t *Tensor) EncodedSize() int { return 4 + 4*len(t.shape) + 8*len(t.Data) }
+
+// Encode writes t to w in the wire format.
+func (t *Tensor) Encode(w io.Writer) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(t.shape)))
+	if _, err := w.Write(buf[:4]); err != nil {
+		return fmt.Errorf("tensor: encode rank: %w", err)
+	}
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(d))
+		if _, err := w.Write(buf[:4]); err != nil {
+			return fmt.Errorf("tensor: encode dim: %w", err)
+		}
+	}
+	return EncodeFloats(w, t.Data)
+}
+
+// Decode reads a tensor in the wire format from r.
+func Decode(r io.Reader) (*Tensor, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, fmt.Errorf("tensor: decode rank: %w", err)
+	}
+	rank := int(binary.LittleEndian.Uint32(buf[:]))
+	const maxRank = 8
+	if rank <= 0 || rank > maxRank {
+		return nil, fmt.Errorf("tensor: decode: invalid rank %d", rank)
+	}
+	shape := make([]int, rank)
+	size := 1
+	for i := range shape {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, fmt.Errorf("tensor: decode dim: %w", err)
+		}
+		shape[i] = int(binary.LittleEndian.Uint32(buf[:]))
+		if shape[i] <= 0 {
+			return nil, fmt.Errorf("tensor: decode: invalid dim %d", shape[i])
+		}
+		size *= shape[i]
+	}
+	const maxElems = 1 << 28 // 2 GiB of float64; anything larger is corrupt
+	if size > maxElems {
+		return nil, fmt.Errorf("tensor: decode: implausible size %d", size)
+	}
+	data, err := DecodeFloats(r, size)
+	if err != nil {
+		return nil, err
+	}
+	return FromSlice(data, shape...), nil
+}
+
+// EncodeFloats writes a float64 slice (without a length prefix) to w.
+func EncodeFloats(w io.Writer, v []float64) error {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("tensor: encode floats: %w", err)
+	}
+	return nil
+}
+
+// DecodeFloats reads exactly n float64 values from r.
+func DecodeFloats(r io.Reader, n int) ([]float64, error) {
+	buf := make([]byte, 8*n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("tensor: decode floats: %w", err)
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return v, nil
+}

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+)
+
+// ClientConfig parameterizes a federated client process.
+type ClientConfig struct {
+	Builder nn.Builder
+	// ModelSeed must match the server's initial model so architectures and
+	// flat layouts agree.
+	ModelSeed int64
+	Seed      int64
+
+	LocalSteps int // E
+	BatchSize  int // B
+	LR         opt.Schedule
+	// NewOptimizer builds the local solver; nil means plain SGD.
+	NewOptimizer func() opt.Optimizer
+	// Lambda is the regularization weight λ, used when the server runs
+	// rFedAvg+ (it is harmless otherwise: a zero-length target disables it).
+	Lambda float64
+	// DeltaBatch bounds δ computation batches; 0 means 256.
+	DeltaBatch int
+}
+
+// RunClient joins a federated session on conn with the given local shard
+// and participates until MsgDone, returning the final global parameters.
+func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, error) {
+	if cfg.LocalSteps <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("transport: client needs positive LocalSteps and BatchSize")
+	}
+	if cfg.LR == nil {
+		cfg.LR = opt.ConstLR(0.1)
+	}
+	if cfg.NewOptimizer == nil {
+		cfg.NewOptimizer = func() opt.Optimizer { return opt.NewSGD() }
+	}
+	net := cfg.Builder(cfg.ModelSeed)
+	localOpt := cfg.NewOptimizer()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	if err := conn.Send(&Message{Type: MsgJoin, NumSamples: int64(shard.Len())}); err != nil {
+		return nil, err
+	}
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("transport: server closed before done")
+			}
+			return nil, err
+		}
+		switch m.Type {
+		case MsgAssign:
+			net.SetFlat(m.Params)
+			localOpt.Reset()
+			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), m.Delta)
+			if err := conn.Send(&Message{
+				Type: MsgUpdate, Round: m.Round, ClientID: m.ClientID,
+				NumSamples: int64(shard.Len()), Loss: loss, Params: net.GetFlat(),
+			}); err != nil {
+				return nil, err
+			}
+		case MsgDeltaReq:
+			net.SetFlat(m.Params)
+			delta := core.ComputeDelta(net, shard, cfg.DeltaBatch)
+			if err := conn.Send(&Message{
+				Type: MsgDelta, Round: m.Round, ClientID: m.ClientID, Delta: delta,
+			}); err != nil {
+				return nil, err
+			}
+		case MsgSkip:
+			// Not in this round's cohort; wait for the next assignment.
+		case MsgDone:
+			return m.Params, nil
+		default:
+			return nil, fmt.Errorf("transport: unexpected message type %d", m.Type)
+		}
+	}
+}
+
+// localSteps runs E local mini-batch steps, with the distribution
+// regularizer attached when a target map was assigned.
+func localSteps(net *nn.Network, localOpt opt.Optimizer, shard *data.Dataset,
+	rng *rand.Rand, cfg ClientConfig, round int, target []float64) float64 {
+	params := net.Params()
+	total := 0.0
+	for i := 0; i < cfg.LocalSteps; i++ {
+		idx := shard.RandomBatch(rng, cfg.BatchSize)
+		x, y := shard.Gather(idx)
+		feat, logits := net.Forward(x, true)
+		loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		total += loss
+		net.ZeroGrad()
+		if len(target) == net.FeatureDim && cfg.Lambda != 0 {
+			net.Backward(dlogits, core.RegFeatureGrad(feat, target, cfg.Lambda))
+		} else {
+			net.Backward(dlogits, nil)
+		}
+		localOpt.Step(params, cfg.LR.LR(round*cfg.LocalSteps+i))
+	}
+	return total / float64(cfg.LocalSteps)
+}

@@ -1,0 +1,132 @@
+// Package transport provides the wire protocol for running the federated
+// algorithms across real processes: a compact binary codec, in-process and
+// TCP connections with byte accounting, and a synchronous server/client
+// implementation of FedAvg and rFedAvg+ (the flagship algorithm). The
+// simulation path in internal/fl uses the same PayloadBytes accounting, so
+// Table III's communication numbers agree between simulated and real runs.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types, in the order they appear in a session.
+const (
+	// MsgJoin is the client's hello: its shard size, so the server can set
+	// aggregation weights.
+	MsgJoin MsgType = iota + 1
+	// MsgAssign starts a round: global parameters plus, for rFedAvg+, the
+	// client's regularization target δ̄^{-k}.
+	MsgAssign
+	// MsgUpdate returns the locally trained parameters and training loss.
+	MsgUpdate
+	// MsgDeltaReq is rFedAvg+'s second synchronization: the freshly
+	// aggregated global model, from which the client must recompute its map.
+	MsgDeltaReq
+	// MsgDelta returns the client's recomputed map δ^k.
+	MsgDelta
+	// MsgDone ends the session; Params carries the final global model.
+	MsgDone
+	// MsgSkip tells a client it is not in this round's cohort (partial
+	// participation); the client just waits for the next message.
+	MsgSkip
+)
+
+// Message is one protocol frame. Unused fields are zero/nil and cost only
+// their length prefixes on the wire.
+type Message struct {
+	Type       MsgType
+	Round      int32
+	ClientID   int32
+	NumSamples int64
+	Loss       float64
+	Params     []float64
+	Delta      []float64
+}
+
+const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 4 + 4
+
+// EncodedSize returns the exact number of bytes WriteMessage produces.
+func (m *Message) EncodedSize() int {
+	return 4 + msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta)
+}
+
+// WriteMessage writes one length-prefixed frame.
+func WriteMessage(w io.Writer, m *Message) error {
+	body := msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta)
+	buf := make([]byte, 4+body)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(body))
+	buf[4] = byte(m.Type)
+	binary.LittleEndian.PutUint32(buf[5:], uint32(m.Round))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(m.ClientID))
+	binary.LittleEndian.PutUint64(buf[13:], uint64(m.NumSamples))
+	binary.LittleEndian.PutUint64(buf[21:], math.Float64bits(m.Loss))
+	binary.LittleEndian.PutUint32(buf[29:], uint32(len(m.Params)))
+	binary.LittleEndian.PutUint32(buf[33:], uint32(len(m.Delta)))
+	off := 4 + msgHeaderSize
+	for _, v := range m.Params {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	for _, v := range m.Delta {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
+	}
+	return nil
+}
+
+// maxFrameSize rejects corrupt length prefixes before allocating.
+const maxFrameSize = 1 << 30
+
+// ReadMessage reads one length-prefixed frame.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("transport: read frame length: %w", err)
+	}
+	body := binary.LittleEndian.Uint32(lenBuf[:])
+	if body < msgHeaderSize || body > maxFrameSize {
+		return nil, fmt.Errorf("transport: invalid frame length %d", body)
+	}
+	buf := make([]byte, body)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	m := &Message{
+		Type:       MsgType(buf[0]),
+		Round:      int32(binary.LittleEndian.Uint32(buf[1:])),
+		ClientID:   int32(binary.LittleEndian.Uint32(buf[5:])),
+		NumSamples: int64(binary.LittleEndian.Uint64(buf[9:])),
+		Loss:       math.Float64frombits(binary.LittleEndian.Uint64(buf[17:])),
+	}
+	np := int(binary.LittleEndian.Uint32(buf[25:]))
+	nd := int(binary.LittleEndian.Uint32(buf[29:]))
+	if msgHeaderSize+8*(np+nd) != int(body) {
+		return nil, fmt.Errorf("transport: frame length %d does not match %d params + %d deltas", body, np, nd)
+	}
+	off := msgHeaderSize
+	if np > 0 {
+		m.Params = make([]float64, np)
+		for i := range m.Params {
+			m.Params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	if nd > 0 {
+		m.Delta = make([]float64, nd)
+		for i := range m.Delta {
+			m.Delta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Algorithm selects the server-side aggregation protocol.
+type Algorithm string
+
+// Supported distributed algorithms.
+const (
+	AlgoFedAvg      Algorithm = "fedavg"
+	AlgoRFedAvgPlus Algorithm = "rfedavg+"
+)
+
+// ServerConfig parameterizes a distributed training session.
+type ServerConfig struct {
+	Algorithm Algorithm
+	Rounds    int
+	// InitialParams is w_0; its length defines the model size.
+	InitialParams []float64
+	// FeatureDim is d, required for rFedAvg+.
+	FeatureDim int
+	// SampleRatio enables partial participation: each round only
+	// ⌈SR·N⌉ clients train; the rest receive MsgSkip. Values ≤ 0 or ≥ 1
+	// mean full participation.
+	SampleRatio float64
+	// Seed drives cohort sampling.
+	Seed int64
+}
+
+// ServerResult summarizes a finished session.
+type ServerResult struct {
+	FinalParams []float64
+	// RoundLosses[c] is the weighted mean client loss of round c.
+	RoundLosses []float64
+}
+
+// Serve runs a synchronous federated session over the given established
+// client connections (full participation), then sends MsgDone with the
+// final model and returns it. It is the real-deployment counterpart of
+// fl.Run + core.RFedAvgPlus.
+func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("transport: no clients")
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("transport: non-positive rounds %d", cfg.Rounds)
+	}
+	if cfg.Algorithm == AlgoRFedAvgPlus && cfg.FeatureDim <= 0 {
+		return nil, fmt.Errorf("transport: rfedavg+ requires FeatureDim")
+	}
+
+	// Collect joins to learn shard sizes.
+	weights := make([]float64, len(conns))
+	total := 0.0
+	for i, c := range conns {
+		m, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: join from client %d: %w", i, err)
+		}
+		if m.Type != MsgJoin {
+			return nil, fmt.Errorf("transport: client %d sent %d, want join", i, m.Type)
+		}
+		if m.NumSamples <= 0 {
+			return nil, fmt.Errorf("transport: client %d joined with %d samples", i, m.NumSamples)
+		}
+		weights[i] = float64(m.NumSamples)
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+
+	global := append([]float64(nil), cfg.InitialParams...)
+	table := core.NewDeltaTable(len(conns), max(cfg.FeatureDim, 1))
+	res := &ServerResult{}
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + 17))
+
+	for round := 0; round < cfg.Rounds; round++ {
+		cohort := sampleCohort(rng, len(conns), cfg.SampleRatio)
+
+		// Sync #1: assign work to the cohort; skip everyone else.
+		if err := broadcast(conns, func(i int) *Message {
+			if !cohort[i] {
+				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
+			}
+			m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Params: global}
+			if cfg.Algorithm == AlgoRFedAvgPlus {
+				m.Delta = table.MeanExcluding(i)
+			}
+			return m
+		}); err != nil {
+			return nil, err
+		}
+
+		// Gather updates from the cohort and aggregate, renormalizing the
+		// weights over the participants.
+		updates, err := gatherFrom(conns, cohort, MsgUpdate)
+		if err != nil {
+			return nil, err
+		}
+		wsum := 0.0
+		for i, m := range updates {
+			if m != nil {
+				wsum += weights[i]
+			}
+		}
+		next := make([]float64, len(global))
+		loss := 0.0
+		for i, m := range updates {
+			if m == nil {
+				continue
+			}
+			if len(m.Params) != len(global) {
+				return nil, fmt.Errorf("transport: client %d sent %d params, want %d", i, len(m.Params), len(global))
+			}
+			wi := weights[i] / wsum
+			for j, v := range m.Params {
+				next[j] += wi * v
+			}
+			loss += wi * m.Loss
+		}
+		global = next
+		res.RoundLosses = append(res.RoundLosses, loss)
+
+		// Sync #2 (rFedAvg+ only): ship the new global model, gather maps.
+		if cfg.Algorithm == AlgoRFedAvgPlus {
+			if err := broadcast(conns, func(i int) *Message {
+				if !cohort[i] {
+					return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
+				}
+				return &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Params: global}
+			}); err != nil {
+				return nil, err
+			}
+			deltas, err := gatherFrom(conns, cohort, MsgDelta)
+			if err != nil {
+				return nil, err
+			}
+			for i, m := range deltas {
+				if m == nil {
+					continue
+				}
+				if len(m.Delta) != cfg.FeatureDim {
+					return nil, fmt.Errorf("transport: client %d sent δ of %d dims, want %d", i, len(m.Delta), cfg.FeatureDim)
+				}
+				table.Set(i, m.Delta)
+			}
+		}
+	}
+
+	if err := broadcast(conns, func(i int) *Message {
+		return &Message{Type: MsgDone, Params: global}
+	}); err != nil {
+		return nil, err
+	}
+	res.FinalParams = global
+	return res, nil
+}
+
+// broadcast sends mk(i) to every connection concurrently.
+func broadcast(conns []Conn, mk func(i int) *Message) error {
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			errs[i] = c.Send(mk(i))
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("transport: broadcast to client %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// gatherFrom receives one message of the expected type from every cohort
+// connection; non-cohort slots are nil.
+func gatherFrom(conns []Conn, cohort []bool, want MsgType) ([]*Message, error) {
+	msgs := make([]*Message, len(conns))
+	errs := make([]error, len(conns))
+	var wg sync.WaitGroup
+	for i, c := range conns {
+		if !cohort[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			m, err := c.Recv()
+			if err == nil && m.Type != want {
+				err = fmt.Errorf("got message type %d, want %d", m.Type, want)
+			}
+			msgs[i], errs[i] = m, err
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("transport: gather from client %d: %w", i, err)
+		}
+	}
+	return msgs, nil
+}
+
+// sampleCohort marks ⌈sr·n⌉ distinct participants; sr outside (0,1) means
+// everyone.
+func sampleCohort(rng *rand.Rand, n int, sr float64) []bool {
+	cohort := make([]bool, n)
+	if sr <= 0 || sr >= 1 {
+		for i := range cohort {
+			cohort[i] = true
+		}
+		return cohort
+	}
+	k := int(math.Ceil(sr * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	for _, i := range rng.Perm(n)[:k] {
+		cohort[i] = true
+	}
+	return cohort
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

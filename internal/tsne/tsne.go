@@ -1,0 +1,223 @@
+// Package tsne implements exact t-SNE (van der Maaten & Hinton, 2008) for
+// the feature-space visualization of Fig. 1: embedding the last-FC-layer
+// activations of clients' samples into 2-D to show that non-IID training
+// under FedAvg produces divergent feature distributions. Exact O(n²)
+// affinities are fine at the figure's scale (a few hundred points).
+package tsne
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Config holds the t-SNE hyperparameters. The zero value is not valid; use
+// DefaultConfig.
+type Config struct {
+	Perplexity float64
+	Iterations int
+	LearnRate  float64
+	// Exaggeration multiplies the input affinities for the first quarter of
+	// the iterations (early exaggeration).
+	Exaggeration float64
+	Seed         int64
+}
+
+// DefaultConfig returns the standard t-SNE settings.
+func DefaultConfig() Config {
+	return Config{Perplexity: 30, Iterations: 500, LearnRate: 100, Exaggeration: 12, Seed: 1}
+}
+
+// Embed maps the rows of x (n, d) to 2-D coordinates (n, 2).
+func Embed(x *tensor.Tensor, cfg Config) *tensor.Tensor {
+	n := x.Dim(0)
+	if cfg.Perplexity >= float64(n)/3 {
+		cfg.Perplexity = float64(n)/3 + 1e-9
+	}
+	p := affinities(x, cfg.Perplexity)
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	y := tensor.RandNormal(rng, 1e-2, n, 2)
+	vel := tensor.New(n, 2)
+	grad := tensor.New(n, 2)
+	q := make([]float64, n*n)
+
+	exaggerated := cfg.Exaggeration
+	exagUntil := cfg.Iterations / 4
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		scale := 1.0
+		if iter < exagUntil {
+			scale = exaggerated
+		}
+		// Student-t affinities in the embedding.
+		qsum := 0.0
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			for j := i + 1; j < n; j++ {
+				yj := y.Row(j)
+				d0, d1 := yi[0]-yj[0], yi[1]-yj[1]
+				v := 1 / (1 + d0*d0 + d1*d1)
+				q[i*n+j] = v
+				q[j*n+i] = v
+				qsum += 2 * v
+			}
+		}
+		// Gradient: 4·Σ_j (p_ij - q_ij)·(y_i - y_j)·(1+‖y_i-y_j‖²)^-1.
+		grad.Zero()
+		for i := 0; i < n; i++ {
+			yi := y.Row(i)
+			gi := grad.Row(i)
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				w := q[i*n+j]
+				pq := scale*p[i*n+j] - w/qsum
+				yj := y.Row(j)
+				m := 4 * pq * w
+				gi[0] += m * (yi[0] - yj[0])
+				gi[1] += m * (yi[1] - yj[1])
+			}
+		}
+		momentum := 0.5
+		if iter >= exagUntil {
+			momentum = 0.8
+		}
+		for i := range y.Data {
+			vel.Data[i] = momentum*vel.Data[i] - cfg.LearnRate*grad.Data[i]
+			y.Data[i] += vel.Data[i]
+		}
+	}
+	return y
+}
+
+// affinities returns the symmetrized, normalized input affinity matrix P,
+// with per-point bandwidths found by binary search to match the target
+// perplexity.
+func affinities(x *tensor.Tensor, perplexity float64) []float64 {
+	n := x.Dim(0)
+	d2 := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := tensor.SquaredDistance(
+				tensor.FromSlice(x.Row(i), x.Dim(1)),
+				tensor.FromSlice(x.Row(j), x.Dim(1)))
+			d2[i*n+j] = v
+			d2[j*n+i] = v
+		}
+	}
+	target := math.Log(perplexity)
+	p := make([]float64, n*n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := 1e-20, 1e20
+		beta := 1.0
+		for iter := 0; iter < 60; iter++ {
+			sum, ent := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				v := math.Exp(-d2[i*n+j] * beta)
+				row[j] = v
+				sum += v
+			}
+			if sum <= 0 {
+				beta /= 2
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if j == i || row[j] == 0 {
+					continue
+				}
+				pj := row[j] / sum
+				ent -= pj * math.Log(pj)
+			}
+			diff := ent - target
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 { // entropy too high → sharpen
+				lo = beta
+				if hi >= 1e20 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		sum := 0.0
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		for j := 0; j < n; j++ {
+			if sum > 0 {
+				p[i*n+j] = row[j] / sum
+			}
+		}
+	}
+	// Symmetrize and normalize: P = (P + Pᵀ)/(2n), floored for stability.
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (p[i*n+j] + p[j*n+i]) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			if i != j {
+				out[i*n+j] = v
+			}
+		}
+	}
+	return out
+}
+
+// ClusterSeparation quantifies how separated labeled groups are in an
+// embedding: the ratio of mean between-group centroid distance to mean
+// within-group spread. Higher means cleaner separation. It is the scalar we
+// report in place of eyeballing Fig. 1.
+func ClusterSeparation(y *tensor.Tensor, labels []int) float64 {
+	n := y.Dim(0)
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		groups[labels[i]] = append(groups[labels[i]], i)
+	}
+	type cent struct{ x0, x1 float64 }
+	cents := map[int]cent{}
+	within := 0.0
+	for g, idx := range groups {
+		var c cent
+		for _, i := range idx {
+			c.x0 += y.Row(i)[0]
+			c.x1 += y.Row(i)[1]
+		}
+		c.x0 /= float64(len(idx))
+		c.x1 /= float64(len(idx))
+		cents[g] = c
+		for _, i := range idx {
+			within += math.Hypot(y.Row(i)[0]-c.x0, y.Row(i)[1]-c.x1)
+		}
+	}
+	within /= float64(n)
+	between, pairs := 0.0, 0
+	keys := make([]int, 0, len(cents))
+	for g := range cents {
+		keys = append(keys, g)
+	}
+	for a := 0; a < len(keys); a++ {
+		for b := a + 1; b < len(keys); b++ {
+			ca, cb := cents[keys[a]], cents[keys[b]]
+			between += math.Hypot(ca.x0-cb.x0, ca.x1-cb.x1)
+			pairs++
+		}
+	}
+	if pairs == 0 || within == 0 {
+		return 0
+	}
+	return (between / float64(pairs)) / within
+}

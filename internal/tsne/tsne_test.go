@@ -1,0 +1,112 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// threeBlobs builds n points in 10-D drawn from 3 well-separated Gaussians.
+func threeBlobs(n int, seed int64) (*tensor.Tensor, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(n, 10)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		g := i % 3
+		labels[i] = g
+		row := x.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64() * 0.3
+		}
+		row[g] += 8 // separate blob means along different axes
+	}
+	return x, labels
+}
+
+func TestEmbedSeparatesBlobs(t *testing.T) {
+	x, labels := threeBlobs(90, 1)
+	cfg := DefaultConfig()
+	cfg.Iterations = 300
+	y := Embed(x, cfg)
+	if y.Dim(0) != 90 || y.Dim(1) != 2 {
+		t.Fatalf("embedding shape %v", y.Shape())
+	}
+	for _, v := range y.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("embedding diverged")
+		}
+	}
+	sep := ClusterSeparation(y, labels)
+	if sep < 2 {
+		t.Fatalf("cluster separation %v, want ≥ 2 for well-separated blobs", sep)
+	}
+}
+
+func TestEmbedMixedDataHasLowSeparation(t *testing.T) {
+	// Identically distributed points with random labels must NOT separate.
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 1, 90, 10)
+	labels := make([]int, 90)
+	for i := range labels {
+		labels[i] = rng.Intn(3)
+	}
+	cfg := DefaultConfig()
+	cfg.Iterations = 300
+	y := Embed(x, cfg)
+	sep := ClusterSeparation(y, labels)
+	xb, lb := threeBlobs(90, 3)
+	yb := Embed(xb, cfg)
+	sepBlobs := ClusterSeparation(yb, lb)
+	if sep >= sepBlobs {
+		t.Fatalf("random labels separation %v should be below blob separation %v", sep, sepBlobs)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	x, _ := threeBlobs(30, 4)
+	cfg := DefaultConfig()
+	cfg.Iterations = 50
+	a, b := Embed(x, cfg), Embed(x, cfg)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must reproduce the embedding")
+		}
+	}
+}
+
+func TestPerplexityClampedForTinyInputs(t *testing.T) {
+	x, _ := threeBlobs(9, 5)
+	cfg := DefaultConfig() // perplexity 30 ≫ n/3; must be clamped, not crash
+	cfg.Iterations = 50
+	y := Embed(x, cfg)
+	for _, v := range y.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN with clamped perplexity")
+		}
+	}
+}
+
+func TestAffinitiesRowsSumToOne(t *testing.T) {
+	x, _ := threeBlobs(20, 6)
+	p := affinities(x, 5)
+	total := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative affinity %v", v)
+		}
+		total += v
+	}
+	// Symmetrized matrix sums to ≈ 1 (up to the stability floor).
+	if math.Abs(total-1) > 0.01 {
+		t.Fatalf("affinities sum to %v", total)
+	}
+}
+
+func TestClusterSeparationEdgeCases(t *testing.T) {
+	y := tensor.New(4, 2)
+	if got := ClusterSeparation(y, []int{0, 0, 0, 0}); got != 0 {
+		t.Fatalf("single group separation = %v, want 0", got)
+	}
+}
