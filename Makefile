@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench repro-fast repro-bench examples
+.PHONY: all build vet test test-race bench bench-json repro-fast repro-bench examples
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	go build ./...
@@ -13,10 +13,21 @@ vet:
 test:
 	go test ./...
 
+# Race-detect the packages where goroutines share state: the worker pool and
+# kernel budget (fl), the parallel matmul kernels (tensor), the layer scratch
+# reuse (nn), and the wire protocol (transport).
+test-race:
+	go test -race ./internal/fl/... ./internal/tensor/... ./internal/nn/... ./internal/transport/...
+
 # The full benchmark harness: one testing.B benchmark per paper table and
 # figure plus ablations and micro-benchmarks.
 bench:
 	go test -bench=. -benchmem ./...
+
+# Re-record the hot-path micro-benchmarks (train step, im2col, matmul, δ
+# computation) into BENCH_hotpath.json.
+bench-json:
+	go run ./cmd/flbench -bench-json BENCH_hotpath.json
 
 # Regenerate every table/figure at the fast scale (minutes each; raw
 # outputs land in results/).

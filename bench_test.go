@@ -11,10 +11,21 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fl"
 )
+
+// BenchmarkMicro runs the hot-path micro-benchmarks (train step, im2col,
+// matmul, δ computation). The same cases back `flbench -bench-json`, which
+// records them into BENCH_hotpath.json; run with -benchmem to see the
+// steady-state B/op and allocs/op the arena design targets.
+func BenchmarkMicro(b *testing.B) {
+	for _, c := range bench.Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()

@@ -10,6 +10,10 @@
 // Each experiment prints the rows/series behind the corresponding table or
 // figure of the paper; see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// With -bench-json <path> it instead runs the hot-path micro-benchmarks
+// (train step, im2col, matmul, δ computation) and records ns/op, B/op, and
+// allocs/op as JSON — the regression record kept in BENCH_hotpath.json.
 package main
 
 import (
@@ -18,19 +22,31 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (or 'all'); see -list")
-		scale   = flag.String("scale", "bench", "scale preset: bench, fast, or paper")
-		asCSV   = flag.Bool("csv", false, "emit CSV instead of an aligned text table")
-		outPath = flag.String("o", "", "write the result to this file instead of stdout")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quiet   = flag.Bool("q", false, "suppress progress logging")
+		exp       = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		scale     = flag.String("scale", "bench", "scale preset: bench, fast, or paper")
+		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned text table")
+		outPath   = flag.String("o", "", "write the result to this file instead of stdout")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		quiet     = flag.Bool("q", false, "suppress progress logging")
+		benchJSON = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		fmt.Fprintln(os.Stderr, "running hot-path micro-benchmarks…")
+		if err := bench.WriteJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", *benchJSON)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.List() {

@@ -1,0 +1,164 @@
+// Package bench defines the hot-path micro-benchmarks (train step, im2col,
+// matmul, δ computation) shared by `go test -bench BenchmarkMicro` and the
+// `flbench -bench-json` regression recorder. Keeping the cases in one place
+// guarantees the JSON trajectory in BENCH_hotpath.json measures exactly what
+// the test benchmarks measure.
+package bench
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Case is one named micro-benchmark.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Result is one case's measurement, the schema of BENCH_hotpath.json rows.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the top-level BENCH_hotpath.json document.
+type Report struct {
+	Generated  string   `json:"generated"`
+	GoMaxProcs int      `json:"go_maxprocs"`
+	Results    []Result `json:"results"`
+}
+
+func synthDataset(rng *rand.Rand, n, features, classes int) *data.Dataset {
+	x := tensor.RandNormal(rng, 1, n, features)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	return &data.Dataset{X: x, Y: y, Classes: classes}
+}
+
+// trainStepCase benchmarks steady-state LocalTrain steps on a single-worker
+// federation. Kernels run serial, matching the per-worker budget inside a
+// fully subscribed MapClients pool, so allocs/op reflects the arena design
+// rather than parallel-dispatch overhead.
+func trainStepCase(name string, builder nn.Builder, ds *data.Dataset, batch int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		prev := tensor.SetKernelParallelism(1)
+		defer tensor.SetKernelParallelism(prev)
+		cfg := fl.Config{Builder: builder, ModelSeed: 1, Seed: 2, LocalSteps: 1, BatchSize: batch, Workers: 1}
+		f := fl.NewFederation(cfg, []*data.Dataset{ds}, nil)
+		w, c := f.Worker(0), f.Clients[0]
+		rng := rand.New(rand.NewSource(3))
+		o := f.DefaultLocalOpts(0)
+		f.LocalTrain(w, c, rng, o) // warm up arenas and layer scratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.LocalTrain(w, c, rng, o)
+		}
+	}}
+}
+
+// Cases returns the micro-benchmark suite.
+func Cases() []Case {
+	rng := rand.New(rand.NewSource(42))
+	denseDS := synthDataset(rng, 512, 64, 10)
+	convDS := synthDataset(rng, 256, 1*14*14, 10)
+
+	return []Case{
+		trainStepCase("train-step/dense", nn.NewMLP(64, 64, 32, 10), denseDS, 32),
+		trainStepCase("train-step/conv",
+			nn.NewImageCNN(nn.ImageSpec{C: 1, H: 14, W: 14, Classes: 10}, 32), convDS, 16),
+		{Name: "im2col/1x28x28-k3", Bench: func(b *testing.B) {
+			r := rand.New(rand.NewSource(4))
+			c := nn.NewConv2D(r, 1, 28, 28, 8, 3, 1, 1)
+			img := make([]float64, 28*28)
+			for i := range img {
+				img[i] = r.NormFloat64()
+			}
+			dst := make([]float64, c.OutH*c.OutW*3*3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Im2col(img, dst)
+			}
+		}},
+		{Name: "matmul/64x128x64", Bench: func(b *testing.B) {
+			r := rand.New(rand.NewSource(5))
+			x := tensor.RandNormal(r, 1, 64, 128)
+			y := tensor.RandNormal(r, 1, 128, 64)
+			out := tensor.New(64, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, x, y)
+			}
+		}},
+		{Name: "compute-delta/512x64", Bench: func(b *testing.B) {
+			r := rand.New(rand.NewSource(6))
+			ds := synthDataset(r, 512, 64, 10)
+			net := nn.NewMLP(64, 64, 32, 10)(1)
+			arena := nn.NewArena()
+			dst := make([]float64, net.FeatureDim)
+			core.ComputeDeltaInto(dst, arena, net, ds, 256) // warm up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.ComputeDeltaInto(dst, arena, net, ds, 256)
+			}
+		}},
+	}
+}
+
+// Micro runs every case through testing.Benchmark and collects the results.
+func Micro() []Result {
+	var out []Result
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Bench)
+		out = append(out, Result{
+			Name:        c.Name,
+			NsPerOp:     float64(r.NsPerOp()),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
+
+// WriteJSON runs the suite and records the report at path. The file is
+// created before the suite runs, so an unwritable path fails immediately
+// instead of after a minute of benchmarking.
+func WriteJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Results:    Micro(),
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -45,34 +45,53 @@ func MMDSquaredMeans(da, db []float64) float64 {
 // network's current parameters, batching to bound memory (line 10 of
 // Algorithm 1 / line 15 of Algorithm 2).
 func ComputeDelta(net *nn.Network, ds *data.Dataset, batch int) []float64 {
+	sum := make([]float64, net.FeatureDim)
+	ComputeDeltaInto(sum, nil, net, ds, batch)
+	return sum
+}
+
+// ComputeDeltaInto is ComputeDelta writing into dst (length FeatureDim).
+// The index slice and gather buffer are reused across batches; when arena is
+// non-nil they come from it ("delta.idx"/"delta.x" keys), so repeated calls
+// on the same worker allocate nothing after warm-up.
+func ComputeDeltaInto(dst []float64, arena *nn.Arena, net *nn.Network, ds *data.Dataset, batch int) {
+	if len(dst) != net.FeatureDim {
+		panic(fmt.Sprintf("core: delta dst dim %d vs feature dim %d", len(dst), net.FeatureDim))
+	}
 	if batch <= 0 {
 		batch = 256
 	}
 	n := ds.Len()
-	sum := make([]float64, net.FeatureDim)
-	idx := make([]int, 0, batch)
+	for j := range dst {
+		dst[j] = 0
+	}
+	var idx []int
+	var x *tensor.Tensor
 	for lo := 0; lo < n; lo += batch {
 		hi := lo + batch
 		if hi > n {
 			hi = n
 		}
-		idx = idx[:0]
-		for i := lo; i < hi; i++ {
-			idx = append(idx, i)
-		}
-		x, _ := ds.Gather(idx)
-		feat := net.Features(x)
-		for r := 0; r < feat.Dim(0); r++ {
-			for j, v := range feat.Row(r) {
-				sum[j] += v
+		if arena != nil {
+			idx = arena.Ints("delta.idx", hi-lo)
+			x = arena.Tensor("delta.x", hi-lo, ds.Features())
+		} else {
+			if cap(idx) < hi-lo {
+				idx = make([]int, hi-lo)
 			}
+			idx = idx[:hi-lo]
+			x = tensor.EnsureShape(x, hi-lo, ds.Features())
 		}
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		ds.GatherInto(idx, x, nil)
+		tensor.AccumColSums(dst, net.Features(x))
 	}
 	inv := 1 / float64(n)
-	for j := range sum {
-		sum[j] *= inv
+	for j := range dst {
+		dst[j] *= inv
 	}
-	return sum
 }
 
 // RegLoss returns λ·‖δ_batch - target‖², the regularizer value for one
@@ -88,19 +107,29 @@ func RegLoss(feat *tensor.Tensor, target []float64, lambda float64) float64 {
 // local step of both rFedAvg and rFedAvg+ injects (line 9 of Algorithms
 // 1–2).
 func RegFeatureGrad(feat *tensor.Tensor, target []float64, lambda float64) *tensor.Tensor {
+	return RegFeatureGradInto(tensor.New(feat.Dim(0), feat.Dim(1)), make([]float64, feat.Dim(1)),
+		feat, target, lambda)
+}
+
+// RegFeatureGradInto is RegFeatureGrad writing into the caller-provided grad
+// (same shape as feat, fully overwritten) using mean (length d) as scratch
+// for the batch feature mean. It returns grad.
+func RegFeatureGradInto(grad *tensor.Tensor, mean []float64, feat *tensor.Tensor, target []float64, lambda float64) *tensor.Tensor {
 	b, d := feat.Dim(0), feat.Dim(1)
 	if len(target) != d {
 		panic(fmt.Sprintf("core: target dim %d vs feature dim %d", len(target), d))
 	}
-	mean := tensor.ColMean(feat)
-	rowGrad := make([]float64, d)
-	scale := 2 * lambda / float64(b)
-	for j := range rowGrad {
-		rowGrad[j] = scale * (mean[j] - target[j])
+	if grad.Rank() != 2 || grad.Dim(0) != b || grad.Dim(1) != d {
+		panic(fmt.Sprintf("core: reg grad shape %v vs feature shape %v", grad.Shape(), feat.Shape()))
 	}
-	grad := tensor.New(b, d)
+	tensor.ColMeanInto(mean, feat)
+	// Reuse mean as the shared per-row gradient (2λ/B)·(δ_batch - target).
+	scale := 2 * lambda / float64(b)
+	for j := range mean {
+		mean[j] = scale * (mean[j] - target[j])
+	}
 	for r := 0; r < b; r++ {
-		copy(grad.Row(r), rowGrad)
+		copy(grad.Row(r), mean)
 	}
 	return grad
 }
@@ -139,23 +168,34 @@ func (t *DeltaTable) Get(k int) []float64 { return t.rows[k] }
 // rFedAvg (which materializes the whole table) and rFedAvg+ (which only
 // ever ships this average — its r̃_k) share this target.
 func (t *DeltaTable) MeanExcluding(k int) []float64 {
-	out := make([]float64, t.Dim)
+	return t.MeanExcludingInto(make([]float64, t.Dim), k)
+}
+
+// MeanExcludingInto is MeanExcluding writing into dst (length Dim) and
+// returning it, so per-step callers can reuse one target buffer.
+func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
+	if len(dst) != t.Dim {
+		panic(fmt.Sprintf("core: mean dst dim %d vs table dim %d", len(dst), t.Dim))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	if t.N < 2 {
-		return out
+		return dst
 	}
 	for j, row := range t.rows {
 		if j == k {
 			continue
 		}
 		for i, v := range row {
-			out[i] += v
+			dst[i] += v
 		}
 	}
 	inv := 1 / float64(t.N-1)
-	for i := range out {
-		out[i] *= inv
+	for i := range dst {
+		dst[i] *= inv
 	}
-	return out
+	return dst
 }
 
 // PairwiseObjective returns (1/(N-1))·Σ_{j≠k} ‖δ^k - δ^j‖², the exact

@@ -61,15 +61,25 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	outs := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
 		w.LoadModel(global)
 		o := f.DefaultLocalOpts(round)
+		d := f.FeatureDim()
 		o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor {
 			// Faithful to Algorithm 1: the client holds the full table and
 			// accumulates the pairwise target itself, an O(N·d) pass per
-			// local step.
-			return RegFeatureGrad(feat, table.MeanExcluding(c.ID), a.Lambda)
+			// local step. All buffers come from the worker's arena, so the
+			// recompute costs FLOPs, not allocations.
+			target := table.MeanExcludingInto(w.Arena().Tensor("reg.target", d).Data, c.ID)
+			return RegFeatureGradInto(
+				w.Arena().Tensor("reg.grad", feat.Dim(0), feat.Dim(1)),
+				w.Arena().Tensor("reg.mean", d).Data,
+				feat, target, a.Lambda)
 		}
 		loss := f.LocalTrain(w, c, rng, o)
-		// Line 10: δ^k recomputed with the client's *local* model.
-		delta := ComputeDelta(w.Net(), c.Data, a.DeltaBatch)
+		// Line 10: δ^k recomputed with the client's *local* model. The
+		// result is freshly allocated per client (it outlives the worker's
+		// turn: the server stores it after the round), but the gather
+		// buffers behind it come from the arena.
+		delta := make([]float64, d)
+		ComputeDeltaInto(delta, w.Arena(), w.Net(), c.Data, a.DeltaBatch)
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}

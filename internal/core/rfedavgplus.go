@@ -71,7 +71,10 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		target := a.avgMinus[c.ID] // received precomputed: O(d) per step, not O(N·d)
 		o := f.DefaultLocalOpts(round)
 		o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor {
-			return RegFeatureGrad(feat, target, a.Lambda)
+			return RegFeatureGradInto(
+				w.Arena().Tensor("reg.grad", feat.Dim(0), feat.Dim(1)),
+				w.Arena().Tensor("reg.mean", feat.Dim(1)).Data,
+				feat, target, a.Lambda)
 		}
 		loss := f.LocalTrain(w, c, rng, o)
 		return fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
@@ -83,7 +86,8 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	newGlobal := a.global
 	deltaOuts := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
 		w.Net().SetFlat(newGlobal)
-		delta := ComputeDelta(w.Net(), c.Data, a.DeltaBatch)
+		delta := make([]float64, f.FeatureDim())
+		ComputeDeltaInto(delta, w.Arena(), w.Net(), c.Data, a.DeltaBatch)
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}
@@ -94,7 +98,7 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	}
 	// Lines 17–18: the server precomputes next round's per-client averages.
 	for k := range a.avgMinus {
-		a.avgMinus[k] = a.table.MeanExcluding(k)
+		a.table.MeanExcludingInto(a.avgMinus[k], k)
 	}
 
 	p := int64(len(sampled))

@@ -31,14 +31,30 @@ func (d *Dataset) Features() int { return d.X.Dim(1) }
 
 // Gather copies the rows at idx into a fresh (len(idx), features) batch.
 func (d *Dataset) Gather(idx []int) (*tensor.Tensor, []int) {
-	w := d.Features()
-	x := tensor.New(len(idx), w)
+	x := tensor.New(len(idx), d.Features())
 	y := make([]int, len(idx))
+	d.GatherInto(idx, x, y)
+	return x, y
+}
+
+// GatherInto copies the rows at idx into the caller-provided batch x, which
+// must have shape (len(idx), features). y, if non-nil, must have length
+// len(idx) and receives the matching labels. This is the allocation-free
+// batch assembly used by the training hot path.
+func (d *Dataset) GatherInto(idx []int, x *tensor.Tensor, y []int) {
+	w := d.Features()
+	if x.Rank() != 2 || x.Dim(0) != len(idx) || x.Dim(1) != w {
+		panic(fmt.Sprintf("data: GatherInto batch shape %v, want (%d×%d)", x.Shape(), len(idx), w))
+	}
+	if y != nil && len(y) != len(idx) {
+		panic(fmt.Sprintf("data: GatherInto %d labels for %d indices", len(y), len(idx)))
+	}
 	for i, j := range idx {
 		copy(x.Row(i), d.X.Row(j))
-		y[i] = d.Y[j]
+		if y != nil {
+			y[i] = d.Y[j]
+		}
 	}
-	return x, y
 }
 
 // Subset materializes the samples at idx as a standalone dataset.
@@ -66,6 +82,30 @@ func (d *Dataset) RandomBatch(rng *rand.Rand, b int) []int {
 		return idx
 	}
 	return rng.Perm(n)[:b]
+}
+
+// RandomBatchInto is RandomBatch with caller-owned permutation storage: perm
+// must have length Len(), and the returned batch is a prefix of perm. It
+// consumes the RNG identically to RandomBatch (the Fisher–Yates insertion
+// walk of rand.Perm), so swapping one for the other preserves every seeded
+// run bit for bit.
+func (d *Dataset) RandomBatchInto(rng *rand.Rand, b int, perm []int) []int {
+	n := d.Len()
+	if len(perm) != n {
+		panic(fmt.Sprintf("data: RandomBatchInto perm(%d) for %d samples", len(perm), n))
+	}
+	if b >= n {
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	return perm[:b]
 }
 
 // ClassCounts returns a histogram of labels, used by tests and by the

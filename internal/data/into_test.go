@@ -1,0 +1,136 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Tests for the gather-into-scratch path: GatherInto must be byte-identical
+// to Gather, and RandomBatchInto must consume the RNG exactly like
+// RandomBatch so that arena-based training reproduces every seeded run of
+// the allocating code it replaced.
+
+func intoTestDataset(rng *rand.Rand, n, features, classes int) *Dataset {
+	x := tensor.RandNormal(rng, 1, n, features)
+	y := make([]int, n)
+	for i := range y {
+		y[i] = rng.Intn(classes)
+	}
+	return &Dataset{X: x, Y: y, Classes: classes}
+}
+
+func TestGatherIntoMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := intoTestDataset(rng, 40, 7, 5)
+	idx := []int{3, 0, 39, 17, 17, 8}
+
+	wantX, wantY := ds.Gather(idx)
+	x := tensor.New(len(idx), ds.Features())
+	y := make([]int, len(idx))
+	ds.GatherInto(idx, x, y)
+
+	for i := range wantX.Data {
+		if x.Data[i] != wantX.Data[i] {
+			t.Fatalf("GatherInto element %d = %g, want %g", i, x.Data[i], wantX.Data[i])
+		}
+	}
+	for i := range wantY {
+		if y[i] != wantY[i] {
+			t.Fatalf("GatherInto label %d = %d, want %d", i, y[i], wantY[i])
+		}
+	}
+
+	// nil labels: the design-matrix copy alone (the ComputeDelta path).
+	xOnly := tensor.New(len(idx), ds.Features())
+	ds.GatherInto(idx, xOnly, nil)
+	for i := range wantX.Data {
+		if xOnly.Data[i] != wantX.Data[i] {
+			t.Fatalf("GatherInto(nil y) element %d = %g, want %g", i, xOnly.Data[i], wantX.Data[i])
+		}
+	}
+}
+
+func TestGatherIntoShapeMismatchPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := intoTestDataset(rng, 10, 4, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GatherInto with a wrong-shaped batch did not panic")
+		}
+	}()
+	ds.GatherInto([]int{0, 1}, tensor.New(2, 5), nil)
+}
+
+// TestRandomBatchIntoRNGFidelity is the RNG-stream contract: under the same
+// seed, RandomBatchInto must return the same indices as RandomBatch AND
+// leave the RNG in the same state (checked by drawing after each call).
+func TestRandomBatchIntoRNGFidelity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n, b int
+	}{
+		{"partial-batch", 50, 8},
+		{"full-dataset", 20, 20},
+		{"batch-exceeds-data", 12, 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			ds := intoTestDataset(rng, tc.n, 3, 4)
+
+			r1 := rand.New(rand.NewSource(99))
+			r2 := rand.New(rand.NewSource(99))
+			perm := make([]int, ds.Len())
+			for step := 0; step < 5; step++ {
+				want := ds.RandomBatch(r1, tc.b)
+				got := ds.RandomBatchInto(r2, tc.b, perm)
+				if len(got) != len(want) {
+					t.Fatalf("step %d: batch size %d, want %d", step, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("step %d: index %d is %d, want %d", step, i, got[i], want[i])
+					}
+				}
+				if a, b := r1.Int63(), r2.Int63(); a != b {
+					t.Fatalf("step %d: RNG streams diverged (%d vs %d)", step, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomBatchIntoDistinctIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := intoTestDataset(rng, 30, 3, 4)
+	perm := make([]int, ds.Len())
+	seen := make(map[int]bool)
+	idx := ds.RandomBatchInto(rng, 10, perm)
+	for _, j := range idx {
+		if j < 0 || j >= ds.Len() {
+			t.Fatalf("index %d out of range", j)
+		}
+		if seen[j] {
+			t.Fatalf("index %d repeated within one batch", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestGatherIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := intoTestDataset(rng, 64, 8, 5)
+	idx := []int{5, 2, 9, 33}
+	x := tensor.New(len(idx), ds.Features())
+	y := make([]int, len(idx))
+	perm := make([]int, ds.Len())
+	r := rand.New(rand.NewSource(5))
+	allocs := testing.AllocsPerRun(20, func() {
+		ds.RandomBatchInto(r, 4, perm)
+		ds.GatherInto(idx, x, y)
+	})
+	if allocs != 0 {
+		t.Errorf("gather path: %.1f allocs/op, want 0", allocs)
+	}
+}

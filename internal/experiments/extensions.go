@@ -163,7 +163,9 @@ func runExtKernel(scale Scale, log io.Writer) (*Result, error) {
 		for c := range feats {
 			ds := f.Clients[c].Data
 			x, _ := ds.Gather(ds.RandomBatch(rng, 60))
-			feats[c] = net.Features(x)
+			// Clone: Features returns layer-owned scratch that the next
+			// iteration's forward pass overwrites.
+			feats[c] = net.Features(x).Clone()
 		}
 		linear, rbf, pairs := 0.0, 0.0, 0
 		for i := 0; i < 3; i++ {

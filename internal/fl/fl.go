@@ -102,6 +102,7 @@ type Federation struct {
 type Worker struct {
 	net      *nn.Network
 	localOpt opt.Optimizer
+	arena    *nn.Arena // scratch for batches, loss gradients, δ maps
 }
 
 // NewFederation builds a federation from per-client shards. Weights follow
@@ -124,6 +125,7 @@ func NewFederation(cfg Config, shards []*data.Dataset, test *data.Dataset) *Fede
 		f.workers = append(f.workers, &Worker{
 			net:      cfg.Builder(cfg.ModelSeed),
 			localOpt: cfg.NewOptimizer(),
+			arena:    nn.NewArena(),
 		})
 	}
 	f.numParams = f.workers[0].net.NumParams()
@@ -194,6 +196,7 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 	outs := make([]ClientOut, len(sampled))
 	tasks := make(chan int)
 	var wg sync.WaitGroup
+	restore := f.splitKernelBudget()
 	for _, w := range f.workers {
 		wg.Add(1)
 		go func(w *Worker) {
@@ -209,7 +212,25 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 	}
 	close(tasks)
 	wg.Wait()
+	restore()
 	return outs
+}
+
+// splitKernelBudget divides the machine's parallelism budget among the
+// worker pool for the duration of a pooled phase, so tensor kernels running
+// inside W concurrent workers do not each fan out to GOMAXPROCS goroutines
+// (quadratic oversubscription). The returned func restores the previous
+// budget.
+func (f *Federation) splitKernelBudget() func() {
+	if len(f.workers) <= 1 {
+		return func() {}
+	}
+	per := runtime.GOMAXPROCS(0) / len(f.workers)
+	if per < 1 {
+		per = 1
+	}
+	prev := tensor.SetKernelParallelism(per)
+	return func() { tensor.SetKernelParallelism(prev) }
 }
 
 // LocalOpts parameterizes one client's local training.
@@ -241,11 +262,15 @@ type LocalOpts struct {
 func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpts) float64 {
 	params := w.net.Params()
 	totalLoss := 0.0
+	perm := w.arena.Ints("batch.perm", c.Data.Len())
 	for i := 0; i < o.E; i++ {
-		idx := c.Data.RandomBatch(rng, o.B)
-		x, y := c.Data.Gather(idx)
+		idx := c.Data.RandomBatchInto(rng, o.B, perm)
+		x := w.arena.Tensor("batch.x", len(idx), c.Data.Features())
+		y := w.arena.Ints("batch.y", len(idx))
+		c.Data.GatherInto(idx, x, y)
 		_, logits := w.net.Forward(x, true)
-		loss, dlogits := nn.SoftmaxCrossEntropy(logits, y)
+		dlogits := w.arena.Tensor("batch.dlogits", logits.Dim(0), logits.Dim(1))
+		loss := nn.SoftmaxCrossEntropyInto(dlogits, logits, y)
 		totalLoss += loss
 		var dfeat *tensor.Tensor
 		switch {
@@ -284,6 +309,15 @@ func (w *Worker) LoadModel(flat []float64) {
 
 // Net exposes the worker's network to algorithm implementations.
 func (w *Worker) Net() *nn.Network { return w.net }
+
+// Arena exposes the worker's scratch arena to algorithm implementations.
+// Like the network, it is single-goroutine: only the worker's own task may
+// touch it.
+func (w *Worker) Arena() *nn.Arena { return w.arena }
+
+// Worker returns worker i of the pool, for benchmarks and single-worker
+// drivers that bypass MapClients.
+func (f *Federation) Worker(i int) *Worker { return f.workers[i] }
 
 // MeanLoss reports the data-size-weighted mean of client losses.
 func MeanLoss(outs []ClientOut) float64 {
@@ -328,30 +362,39 @@ func WeightedAverage(outs []ClientOut) []float64 {
 	return dst
 }
 
-// Evaluate computes the accuracy of the model given by flat parameters on
-// ds, batching to bound memory.
-func (f *Federation) Evaluate(flat []float64, ds *data.Dataset) float64 {
-	w := f.workers[0]
-	w.net.SetFlat(flat)
-	b := f.Cfg.EvalBatch
-	correct := 0
+// evalBatches runs the model over ds in evaluation batches of size b,
+// assembling each batch in w's arena, and calls fn with every batch's
+// logits and labels.
+func evalBatches(w *Worker, ds *data.Dataset, b int, fn func(logits *tensor.Tensor, y []int)) {
 	for lo := 0; lo < ds.Len(); lo += b {
 		hi := lo + b
 		if hi > ds.Len() {
 			hi = ds.Len()
 		}
-		idx := make([]int, hi-lo)
+		idx := w.arena.Ints("eval.idx", hi-lo)
 		for i := range idx {
 			idx[i] = lo + i
 		}
-		x, y := ds.Gather(idx)
-		logits := w.net.Predict(x)
+		x := w.arena.Tensor("eval.x", hi-lo, ds.Features())
+		y := w.arena.Ints("eval.y", hi-lo)
+		ds.GatherInto(idx, x, y)
+		fn(w.net.Predict(x), y)
+	}
+}
+
+// Evaluate computes the accuracy of the model given by flat parameters on
+// ds, batching to bound memory.
+func (f *Federation) Evaluate(flat []float64, ds *data.Dataset) float64 {
+	w := f.workers[0]
+	w.net.SetFlat(flat)
+	correct := 0
+	evalBatches(w, ds, f.Cfg.EvalBatch, func(logits *tensor.Tensor, y []int) {
 		for i := 0; i < logits.Dim(0); i++ {
 			if tensor.MaxIndex(logits.Row(i)) == y[i] {
 				correct++
 			}
 		}
-	}
+	})
 	return float64(correct) / float64(ds.Len())
 }
 
@@ -361,22 +404,11 @@ func (f *Federation) EvaluateConfusion(flat []float64, ds *data.Dataset) *metric
 	w := f.workers[0]
 	w.net.SetFlat(flat)
 	conf := metrics.NewConfusion(ds.Classes)
-	b := f.Cfg.EvalBatch
-	for lo := 0; lo < ds.Len(); lo += b {
-		hi := lo + b
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = lo + i
-		}
-		x, y := ds.Gather(idx)
-		logits := w.net.Predict(x)
+	evalBatches(w, ds, f.Cfg.EvalBatch, func(logits *tensor.Tensor, y []int) {
 		for i := 0; i < logits.Dim(0); i++ {
 			conf.Add(y[i], tensor.MaxIndex(logits.Row(i)))
 		}
-	}
+	})
 	return conf
 }
 
@@ -386,33 +418,22 @@ func (f *Federation) EvaluatePerClient(flat []float64) []float64 {
 	accs := make([]float64, len(f.Clients))
 	var wg sync.WaitGroup
 	tasks := make(chan int)
+	restore := f.splitKernelBudget()
 	for _, w := range f.workers {
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
-			net := w.net
-			net.SetFlat(flat)
+			w.net.SetFlat(flat)
 			for k := range tasks {
 				ds := f.Clients[k].Data
 				correct := 0
-				b := f.Cfg.EvalBatch
-				for lo := 0; lo < ds.Len(); lo += b {
-					hi := lo + b
-					if hi > ds.Len() {
-						hi = ds.Len()
-					}
-					idx := make([]int, hi-lo)
-					for i := range idx {
-						idx[i] = lo + i
-					}
-					x, y := ds.Gather(idx)
-					logits := net.Predict(x)
+				evalBatches(w, ds, f.Cfg.EvalBatch, func(logits *tensor.Tensor, y []int) {
 					for i := 0; i < logits.Dim(0); i++ {
 						if tensor.MaxIndex(logits.Row(i)) == y[i] {
 							correct++
 						}
 					}
-				}
+				})
 				accs[k] = float64(correct) / float64(ds.Len())
 			}
 		}(w)
@@ -422,6 +443,7 @@ func (f *Federation) EvaluatePerClient(flat []float64) []float64 {
 	}
 	close(tasks)
 	wg.Wait()
+	restore()
 	return accs
 }
 

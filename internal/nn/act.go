@@ -6,9 +6,11 @@ import (
 	"repro/internal/tensor"
 )
 
-// ReLU is the rectified linear activation, max(0, x).
+// ReLU is the rectified linear activation, max(0, x). Its output and
+// gradient buffers are layer-owned scratch, reused across steps.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	out, dx *tensor.Tensor
 }
 
 // NewReLU creates a ReLU activation layer.
@@ -16,7 +18,8 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward computes max(0, x) and records which inputs were positive.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	r.out = tensor.EnsureShape(r.out, x.Shape()...)
+	out := r.out
 	if cap(r.mask) < x.Size() {
 		r.mask = make([]bool, x.Size())
 	}
@@ -26,6 +29,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[i] = v
 			r.mask[i] = true
 		} else {
+			out.Data[i] = 0
 			r.mask[i] = false
 		}
 	}
@@ -34,10 +38,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward zeroes the gradient where the input was non-positive.
 func (r *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape()...)
+	r.dx = tensor.EnsureShape(r.dx, dout.Shape()...)
+	dx := r.dx
 	for i, v := range dout.Data {
 		if r.mask[i] {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -48,7 +55,8 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor // cached output, doubling as the reusable out buffer
+	dx *tensor.Tensor
 }
 
 // NewTanh creates a Tanh activation layer.
@@ -56,17 +64,17 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward computes tanh(x).
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	t.y = tensor.EnsureShape(t.y, x.Shape()...)
 	for i, v := range x.Data {
-		out.Data[i] = math.Tanh(v)
+		t.y.Data[i] = math.Tanh(v)
 	}
-	t.y = out
-	return out
+	return t.y
 }
 
 // Backward computes dout · (1 - tanh²(x)).
 func (t *Tanh) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape()...)
+	t.dx = tensor.EnsureShape(t.dx, dout.Shape()...)
+	dx := t.dx
 	for i, v := range dout.Data {
 		y := t.y.Data[i]
 		dx.Data[i] = v * (1 - y*y)
@@ -79,7 +87,8 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation 1/(1+e^-x).
 type Sigmoid struct {
-	y *tensor.Tensor
+	y  *tensor.Tensor // cached output, doubling as the reusable out buffer
+	dx *tensor.Tensor
 }
 
 // NewSigmoid creates a Sigmoid activation layer.
@@ -87,17 +96,17 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward computes σ(x).
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	s.y = tensor.EnsureShape(s.y, x.Shape()...)
 	for i, v := range x.Data {
-		out.Data[i] = sigmoid(v)
+		s.y.Data[i] = sigmoid(v)
 	}
-	s.y = out
-	return out
+	return s.y
 }
 
 // Backward computes dout · σ(x)(1-σ(x)).
 func (s *Sigmoid) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(dout.Shape()...)
+	s.dx = tensor.EnsureShape(s.dx, dout.Shape()...)
+	dx := s.dx
 	for i, v := range dout.Data {
 		y := s.y.Data[i]
 		dx.Data[i] = v * y * (1 - y)

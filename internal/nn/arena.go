@@ -1,0 +1,55 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Arena is a keyed pool of reusable scratch buffers. Each fl.Worker owns one
+// arena and threads it through batch assembly, loss gradients, and δ
+// computation; layers own their own scratch internally (see DESIGN.md,
+// "Memory model & buffer ownership"). Buffers are sized on first use and
+// grown on demand, so after one warm-up step every lookup is allocation-free.
+// An Arena is not safe for concurrent use — isolation comes from the
+// one-goroutine-per-worker model.
+type Arena struct {
+	tensors map[string]*tensor.Tensor
+	ints    map[string][]int
+}
+
+// NewArena creates an empty arena.
+func NewArena() *Arena {
+	return &Arena{
+		tensors: make(map[string]*tensor.Tensor),
+		ints:    make(map[string][]int),
+	}
+}
+
+// Tensor returns the scratch tensor registered under key, resized to shape.
+// Contents are unspecified (not zeroed). Keys should be constant strings so
+// the map lookup itself does not allocate.
+func (a *Arena) Tensor(key string, shape ...int) *tensor.Tensor {
+	t := tensor.EnsureShape(a.tensors[key], shape...)
+	a.tensors[key] = t
+	return t
+}
+
+// Ints returns the scratch int slice registered under key, resized to n.
+// Contents are unspecified.
+func (a *Arena) Ints(key string, n int) []int {
+	s := a.ints[key]
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	a.ints[key] = s
+	return s
+}
+
+// scratchSlot resizes (or creates) element i of a per-timestep scratch list,
+// growing the list as needed. The recurrent layers use it to keep one cached
+// activation tensor per unrolled step.
+func scratchSlot(s *[]*tensor.Tensor, i int, shape ...int) *tensor.Tensor {
+	for len(*s) <= i {
+		*s = append(*s, nil)
+	}
+	(*s)[i] = tensor.EnsureShape((*s)[i], shape...)
+	return (*s)[i]
+}

@@ -24,6 +24,11 @@ type Conv2D struct {
 
 	cols *tensor.Tensor // cached im2col matrix for backward
 	bsz  int
+
+	// Reusable scratch, sized on first use: the matmul product, the
+	// channel-major output, the gathered output gradient, the column
+	// gradient, and the input gradient.
+	prod, out, dmat, dcols, dx *tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-normal weights.
@@ -56,19 +61,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.bsz = bsz
 	ohw := c.OutH * c.OutW
 	ickk := c.InC * c.K * c.K
-	cols := tensor.New(bsz*ohw, ickk)
+	c.cols = tensor.EnsureShape(c.cols, bsz*ohw, ickk)
+	cols := c.cols
 	for b := 0; b < bsz; b++ {
 		img := x.Row(b)
 		c.im2col(img, cols.Data[b*ohw*ickk:(b+1)*ohw*ickk])
 	}
-	c.cols = cols
 
 	// (B·OH·OW, ICKK) · (OutC, ICKK)ᵀ → (B·OH·OW, OutC)
-	prod := tensor.MatMulTransB(cols, c.w.W)
+	c.prod = tensor.EnsureShape(c.prod, bsz*ohw, c.OutC)
+	prod := tensor.MatMulTransBInto(c.prod, cols, c.w.W)
 	prod.AddRowVector(c.b.W.Data)
 
 	// Scatter to channel-major output layout (B, OutC·OH·OW).
-	out := tensor.New(bsz, c.OutC*ohw)
+	c.out = tensor.EnsureShape(c.out, bsz, c.OutC*ohw)
+	out := c.out
 	for b := 0; b < bsz; b++ {
 		orow := out.Row(b)
 		for p := 0; p < ohw; p++ {
@@ -89,7 +96,8 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	ickk := c.InC * c.K * c.K
 
 	// Gather dout into the matmul layout (B·OH·OW, OutC).
-	dmat := tensor.New(bsz*ohw, c.OutC)
+	c.dmat = tensor.EnsureShape(c.dmat, bsz*ohw, c.OutC)
+	dmat := c.dmat
 	for b := 0; b < bsz; b++ {
 		drow := dout.Row(b)
 		for p := 0; p < ohw; p++ {
@@ -101,14 +109,16 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// dW += dmatᵀ·cols ; db += Σ dmat.
-	c.w.G.AddInPlace(tensor.MatMulTransA(dmat, c.cols))
-	for i, v := range tensor.ColSums(dmat) {
-		c.b.G.Data[i] += v
-	}
+	tensor.MatMulTransAAcc(c.w.G, dmat, c.cols)
+	tensor.AccumColSums(c.b.G.Data, dmat)
 
-	// dcols = dmat·W, then scatter back to image space.
-	dcols := tensor.MatMul(dmat, c.w.W)
-	dx := tensor.New(bsz, c.InC*c.InH*c.InW)
+	// dcols = dmat·W, then scatter back to image space. dx receives
+	// scatter-adds from col2im, so it must be zeroed before reuse.
+	c.dcols = tensor.EnsureShape(c.dcols, bsz*ohw, ickk)
+	dcols := tensor.MatMulInto(c.dcols, dmat, c.w.W)
+	c.dx = tensor.EnsureShape(c.dx, bsz, c.InC*c.InH*c.InW)
+	dx := c.dx
+	dx.Zero()
 	for b := 0; b < bsz; b++ {
 		c.col2im(dcols.Data[b*ohw*ickk:(b+1)*ohw*ickk], dx.Row(b))
 	}
@@ -117,6 +127,17 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 
 // Params returns the kernel and bias parameters.
 func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Im2col expands one channel-major image (length InC·InH·InW) into dst
+// (length OutH·OutW·InC·K²), a row per output position and a column per
+// (channel, ky, kx) tap. Exported for the micro-benchmark harness.
+func (c *Conv2D) Im2col(img, dst []float64) {
+	if len(img) != c.InC*c.InH*c.InW || len(dst) != c.OutH*c.OutW*c.InC*c.K*c.K {
+		panic(fmt.Sprintf("nn: Im2col img(%d) dst(%d), want %d and %d",
+			len(img), len(dst), c.InC*c.InH*c.InW, c.OutH*c.OutW*c.InC*c.K*c.K))
+	}
+	c.im2col(img, dst)
+}
 
 // im2col expands one channel-major image into dst, a row per output
 // position and a column per (channel, ky, kx) tap; out-of-bounds taps are 0.

@@ -7,10 +7,13 @@ import (
 )
 
 // Dense is a fully connected layer: y = x·W + b, with W of shape (in, out).
+// The output and input-gradient buffers are owned by the layer and reused
+// across steps, so neither Forward nor Backward allocates after warm-up.
 type Dense struct {
 	In, Out int
 	w, b    *Param
 	x       *tensor.Tensor // cached input for backward
+	y, dx   *tensor.Tensor // reusable scratch
 }
 
 // NewDense creates a dense layer with Glorot-uniform weights and zero bias.
@@ -26,20 +29,19 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 // Forward computes x·W + b.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.x = x
-	y := tensor.MatMul(x, d.w.W)
-	y.AddRowVector(d.b.W.Data)
-	return y
+	d.y = tensor.EnsureShape(d.y, x.Dim(0), d.Out)
+	tensor.MatMulInto(d.y, x, d.w.W)
+	d.y.AddRowVector(d.b.W.Data)
+	return d.y
 }
 
 // Backward accumulates dW = xᵀ·dout and db = Σ dout, and returns
 // dx = dout·Wᵀ.
 func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	d.w.G.AddInPlace(tensor.MatMulTransA(d.x, dout))
-	db := tensor.ColSums(dout)
-	for i, v := range db {
-		d.b.G.Data[i] += v
-	}
-	return tensor.MatMulTransB(dout, d.w.W)
+	tensor.MatMulTransAAcc(d.w.G, d.x, dout)
+	tensor.AccumColSums(d.b.G.Data, dout)
+	d.dx = tensor.EnsureShape(d.dx, dout.Dim(0), d.In)
+	return tensor.MatMulTransBInto(d.dx, dout, d.w.W)
 }
 
 // Params returns the weight and bias parameters.

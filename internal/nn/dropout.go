@@ -10,9 +10,10 @@ import (
 // and rescales survivors by 1/(1-Rate) (inverted dropout), so evaluation
 // needs no correction.
 type Dropout struct {
-	Rate float64
-	rng  *rand.Rand
-	mask []float64
+	Rate    float64
+	rng     *rand.Rand
+	mask    []float64
+	out, dx *tensor.Tensor
 }
 
 // NewDropout creates a dropout layer with its own deterministic RNG stream.
@@ -32,13 +33,15 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	d.mask = d.mask[:x.Size()]
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	out := tensor.New(x.Shape()...)
+	d.out = tensor.EnsureShape(d.out, x.Shape()...)
+	out := d.out
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask[i] = scale
 			out.Data[i] = v * scale
 		} else {
 			d.mask[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -49,7 +52,8 @@ func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return dout
 	}
-	dx := tensor.New(dout.Shape()...)
+	d.dx = tensor.EnsureShape(d.dx, dout.Shape()...)
+	dx := d.dx
 	for i, v := range dout.Data {
 		dx.Data[i] = v * d.mask[i]
 	}

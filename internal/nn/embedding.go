@@ -16,6 +16,7 @@ type Embedding struct {
 	w          *Param
 	ids        []int // cached flat token ids for backward
 	bsz, t     int
+	out        *tensor.Tensor
 }
 
 // NewEmbedding creates an embedding table with N(0, 0.1²) entries.
@@ -35,7 +36,8 @@ func (e *Embedding) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		e.ids = make([]int, bsz*t)
 	}
 	e.ids = e.ids[:bsz*t]
-	out := tensor.New(bsz, t*e.Dim)
+	e.out = tensor.EnsureShape(e.out, bsz, t*e.Dim)
+	out := e.out
 	for b := 0; b < bsz; b++ {
 		xrow := x.Row(b)
 		orow := out.Row(b)

@@ -181,6 +181,58 @@ func TestNetworkEndToEndGradients(t *testing.T) {
 	}
 }
 
+// TestGradientsAcrossBatchResizes re-runs the gradient check on the SAME
+// layer instances at batch sizes 4 → 2 → 6. With layer-owned scratch buffers
+// this is the regime where stale-buffer bugs live: shrinking must not leave
+// old rows visible, growing must resize every dependent buffer, and a buffer
+// that needs zeroing (conv/pool dx scatter-adds, ReLU masks) must be zeroed
+// at its *current* size, not its first-use size.
+func TestGradientsAcrossBatchResizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	type layerCase struct {
+		name string
+		l    Layer
+		make func(rng *rand.Rand, b int) *tensor.Tensor
+		eps  float64
+		tol  float64
+	}
+	cases := []layerCase{
+		{"dense", NewDense(rng, 5, 4),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 5) }, 1e-6, 1e-5},
+		{"relu", NewReLU(),
+			func(rng *rand.Rand, b int) *tensor.Tensor {
+				x := tensor.RandNormal(rng, 1, b, 6)
+				for i := range x.Data {
+					if math.Abs(x.Data[i]) < 0.1 {
+						x.Data[i] = 0.5
+					}
+				}
+				return x
+			}, 1e-6, 1e-5},
+		{"tanh", NewTanh(),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 6) }, 1e-6, 1e-5},
+		{"conv2d", NewConv2D(rng, 2, 6, 6, 3, 3, 1, 1),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 2*6*6) }, 1e-6, 1e-5},
+		{"maxpool", NewMaxPool2D(2, 4, 4, 2),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 2*16) }, 1e-6, 1e-5},
+		{"layernorm", NewLayerNorm(6),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 6) }, 1e-6, 1e-5},
+		{"lstm", NewLSTM(rng, 3, 4, 5),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 5*3) }, 1e-6, 2e-5},
+		{"gru", NewGRU(rng, 3, 4, 5),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 5*3) }, 1e-6, 2e-5},
+		{"mlp-stack", NewSequential(NewDense(rng, 6, 5), NewTanh(), NewDense(rng, 5, 3)),
+			func(rng *rand.Rand, b int) *tensor.Tensor { return tensor.RandNormal(rng, 1, b, 6) }, 1e-6, 1e-5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, b := range []int{4, 2, 6} {
+				checkLayerGradients(t, tc.l, tc.make(rng, b), tc.eps, tc.tol)
+			}
+		})
+	}
+}
+
 func TestSoftmaxCrossEntropyGradient(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	logits := tensor.RandNormal(rng, 2, 5, 4)

@@ -21,9 +21,14 @@ type GRU struct {
 	wxc, whc *Param // candidate: (In, H), (H, H)
 	bc       *Param // (H)
 
-	// per-timestep caches for backward
+	// per-timestep caches for backward, reused across steps via
+	// scratchSlot
 	xs, hs, rs, zs, cs, hrs []*tensor.Tensor
 	bsz                     int
+
+	// reusable scratch: forward pre-activations and the BPTT buffers
+	gates, cand                                 *tensor.Tensor
+	bdx, bdh, bdhp, bdgates, bdcand, bdhr, bdxt *tensor.Tensor
 }
 
 // NewGRU creates a GRU for sequences of exactly T steps of In features.
@@ -51,24 +56,22 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	g.bsz = bsz
 	H := g.Hidden
-	g.xs = g.xs[:0]
-	g.hs = append(g.hs[:0], tensor.New(bsz, H)) // h_0 = 0
-	g.rs, g.zs, g.cs, g.hrs = g.rs[:0], g.zs[:0], g.cs[:0], g.hrs[:0]
+	scratchSlot(&g.hs, 0, bsz, H).Zero() // h_0 = 0
 
 	for t := 0; t < g.T; t++ {
-		xt := tensor.New(bsz, g.In)
+		xt := scratchSlot(&g.xs, t, bsz, g.In)
 		for r := 0; r < bsz; r++ {
 			copy(xt.Row(r), x.Row(r)[t*g.In:(t+1)*g.In])
 		}
-		g.xs = append(g.xs, xt)
 		hPrev := g.hs[t]
 
-		gates := tensor.MatMul(xt, g.wxg.W)
-		gates.AddInPlace(tensor.MatMul(hPrev, g.whg.W))
+		g.gates = tensor.EnsureShape(g.gates, bsz, 2*H)
+		gates := tensor.MatMulInto(g.gates, xt, g.wxg.W)
+		tensor.MatMulAcc(gates, hPrev, g.whg.W)
 		gates.AddRowVector(g.bg.W.Data)
 
-		rt, zt := tensor.New(bsz, H), tensor.New(bsz, H)
-		hr := tensor.New(bsz, H)
+		rt, zt := scratchSlot(&g.rs, t, bsz, H), scratchSlot(&g.zs, t, bsz, H)
+		hr := scratchSlot(&g.hrs, t, bsz, H)
 		for r := 0; r < bsz; r++ {
 			grow := gates.Row(r)
 			for j := 0; j < H; j++ {
@@ -79,10 +82,12 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 
-		cand := tensor.MatMul(xt, g.wxc.W)
-		cand.AddInPlace(tensor.MatMul(hr, g.whc.W))
+		g.cand = tensor.EnsureShape(g.cand, bsz, H)
+		cand := tensor.MatMulInto(g.cand, xt, g.wxc.W)
+		tensor.MatMulAcc(cand, hr, g.whc.W)
 		cand.AddRowVector(g.bc.W.Data)
-		ct, ht := tensor.New(bsz, H), tensor.New(bsz, H)
+		ct := scratchSlot(&g.cs, t, bsz, H)
+		ht := scratchSlot(&g.hs, t+1, bsz, H)
 		for r := 0; r < bsz; r++ {
 			for j := 0; j < H; j++ {
 				cv := math.Tanh(cand.Row(r)[j])
@@ -91,8 +96,6 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				ht.Row(r)[j] = (1-zv)*hPrev.Row(r)[j] + zv*cv
 			}
 		}
-		g.rs, g.zs, g.cs, g.hrs = append(g.rs, rt), append(g.zs, zt), append(g.cs, ct), append(g.hrs, hr)
-		g.hs = append(g.hs, ht)
 	}
 	return g.hs[g.T]
 }
@@ -100,15 +103,23 @@ func (g *GRU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward runs backpropagation through time from the final hidden state.
 func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	bsz, H := g.bsz, g.Hidden
-	dx := tensor.New(bsz, g.T*g.In)
-	dh := dout.Clone()
+	g.bdx = tensor.EnsureShape(g.bdx, bsz, g.T*g.In)
+	dx := g.bdx
+	g.bdh = tensor.EnsureShape(g.bdh, bsz, H)
+	dh := g.bdh
+	dh.CopyFrom(dout)
+	g.bdhp = tensor.EnsureShape(g.bdhp, bsz, H)
+	dhPrevPartial := g.bdhp
+	g.bdgates = tensor.EnsureShape(g.bdgates, bsz, 2*H) // pre-activation grads for r, z
+	dgates := g.bdgates
+	g.bdcand = tensor.EnsureShape(g.bdcand, bsz, H) // pre-activation grad for candidate
+	dcand := g.bdcand
+	g.bdhr = tensor.EnsureShape(g.bdhr, bsz, H)
+	g.bdxt = tensor.EnsureShape(g.bdxt, bsz, g.In)
 
 	for t := g.T - 1; t >= 0; t-- {
 		rt, zt, ct, hr := g.rs[t], g.zs[t], g.cs[t], g.hrs[t]
 		hPrev := g.hs[t]
-		dgates := tensor.New(bsz, 2*H) // pre-activation grads for r, z
-		dcand := tensor.New(bsz, H)    // pre-activation grad for candidate
-		dhPrevPartial := tensor.New(bsz, H)
 		for r := 0; r < bsz; r++ {
 			for j := 0; j < H; j++ {
 				dhv := dh.Row(r)[j]
@@ -121,13 +132,11 @@ func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// Candidate path: dWxc, dWhc, dbc; gradient into hr and x.
-		g.wxc.G.AddInPlace(tensor.MatMulTransA(g.xs[t], dcand))
-		g.whc.G.AddInPlace(tensor.MatMulTransA(hr, dcand))
-		for j, v := range tensor.ColSums(dcand) {
-			g.bc.G.Data[j] += v
-		}
-		dhr := tensor.MatMulTransB(dcand, g.whc.W)
-		dxt := tensor.MatMulTransB(dcand, g.wxc.W)
+		tensor.MatMulTransAAcc(g.wxc.G, g.xs[t], dcand)
+		tensor.MatMulTransAAcc(g.whc.G, hr, dcand)
+		tensor.AccumColSums(g.bc.G.Data, dcand)
+		dhr := tensor.MatMulTransBInto(g.bdhr, dcand, g.whc.W)
+		dxt := tensor.MatMulTransBInto(g.bdxt, dcand, g.wxc.W)
 		// hr = r ⊙ hPrev → gradients into r gate and hPrev.
 		for r := 0; r < bsz; r++ {
 			for j := 0; j < H; j++ {
@@ -138,18 +147,18 @@ func (g *GRU) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// Gate path: dWxg, dWhg, dbg; gradients into x and hPrev.
-		g.wxg.G.AddInPlace(tensor.MatMulTransA(g.xs[t], dgates))
-		g.whg.G.AddInPlace(tensor.MatMulTransA(hPrev, dgates))
-		for j, v := range tensor.ColSums(dgates) {
-			g.bg.G.Data[j] += v
-		}
-		dxt.AddInPlace(tensor.MatMulTransB(dgates, g.wxg.W))
-		dhPrevPartial.AddInPlace(tensor.MatMulTransB(dgates, g.whg.W))
+		tensor.MatMulTransAAcc(g.wxg.G, g.xs[t], dgates)
+		tensor.MatMulTransAAcc(g.whg.G, hPrev, dgates)
+		tensor.AccumColSums(g.bg.G.Data, dgates)
+		tensor.MatMulTransBAcc(dxt, dgates, g.wxg.W)
+		tensor.MatMulTransBAcc(dhPrevPartial, dgates, g.whg.W)
 
 		for r := 0; r < bsz; r++ {
 			copy(dx.Row(r)[t*g.In:(t+1)*g.In], dxt.Row(r))
 		}
-		dh = dhPrevPartial
+		// dh ping-pongs with dhPrevPartial, which the next iteration
+		// fully rewrites before reading.
+		dh, dhPrevPartial = dhPrevPartial, dh
 	}
 	return dx
 }

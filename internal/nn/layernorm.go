@@ -22,6 +22,9 @@ type LayerNorm struct {
 	x      *tensor.Tensor
 	norm   *tensor.Tensor // normalized pre-affine activations
 	invStd []float64
+
+	out, dx *tensor.Tensor
+	dnorm   []float64 // per-row backward scratch
 }
 
 // NewLayerNorm creates a layer normalization over dim-wide activations,
@@ -41,12 +44,13 @@ func NewLayerNorm(dim int) *LayerNorm {
 func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, d := x.Dim(0), x.Dim(1)
 	l.x = x
-	l.norm = tensor.New(n, d)
+	l.norm = tensor.EnsureShape(l.norm, n, d)
 	if cap(l.invStd) < n {
 		l.invStd = make([]float64, n)
 	}
 	l.invStd = l.invStd[:n]
-	out := tensor.New(n, d)
+	l.out = tensor.EnsureShape(l.out, n, d)
+	out := l.out
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
 		mean := 0.0
@@ -75,13 +79,17 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // normalization.
 func (l *LayerNorm) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	n, d := dout.Dim(0), dout.Dim(1)
-	dx := tensor.New(n, d)
+	l.dx = tensor.EnsureShape(l.dx, n, d)
+	dx := l.dx
+	if cap(l.dnorm) < d {
+		l.dnorm = make([]float64, d)
+	}
+	dnorm := l.dnorm[:d]
 	fd := float64(d)
 	for i := 0; i < n; i++ {
 		drow, nrow := dout.Row(i), l.norm.Row(i)
 		// dnorm_j = dout_j · g_j ; accumulate param grads.
 		sumD, sumDN := 0.0, 0.0
-		dnorm := make([]float64, d)
 		for j := 0; j < d; j++ {
 			l.g.G.Data[j] += drow[j] * nrow[j]
 			l.b.G.Data[j] += drow[j]

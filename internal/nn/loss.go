@@ -12,11 +12,22 @@ import (
 // with respect to the logits: (softmax - onehot)/batch. It is numerically
 // stabilized by subtracting each row's max logit.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Dim(0), logits.Dim(1))
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy with a caller-provided
+// gradient tensor of the same shape as logits, fully overwritten. It returns
+// the loss.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	bsz, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != bsz {
 		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), bsz))
 	}
-	grad := tensor.New(bsz, k)
+	if grad.Rank() != 2 || grad.Dim(0) != bsz || grad.Dim(1) != k {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropyInto grad shape %v, want (%d×%d)", grad.Shape(), bsz, k))
+	}
 	loss := 0.0
 	inv := 1.0 / float64(bsz)
 	for i := 0; i < bsz; i++ {
@@ -44,7 +55,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		loss += -(row[y] - maxv - math.Log(sum)) * inv
 		g[y] -= inv
 	}
-	return loss, grad
+	return loss
 }
 
 // Softmax returns the row-wise softmax of logits as a new tensor.

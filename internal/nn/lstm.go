@@ -18,9 +18,15 @@ type LSTM struct {
 
 	wx, wh, b *Param
 
-	// per-timestep caches for backpropagation through time
+	// per-timestep caches for backpropagation through time, reused across
+	// steps via scratchSlot
 	xs, hs, cs, is, fs, gs, os, tcs []*tensor.Tensor
 	bsz                             int
+
+	// reusable scratch: pre-activation gates (forward) and the BPTT
+	// buffers (backward)
+	z                              *tensor.Tensor
+	bdx, bdh, bdc, bdc2, bdz, bdxt *tensor.Tensor
 }
 
 // NewLSTM creates an LSTM for sequences of exactly T steps of In features.
@@ -48,25 +54,26 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	l.bsz = bsz
 	H := l.Hidden
-	l.xs = l.xs[:0]
-	l.hs = append(l.hs[:0], tensor.New(bsz, H)) // h_0 = 0
-	l.cs = append(l.cs[:0], tensor.New(bsz, H)) // c_0 = 0
-	l.is, l.fs, l.gs, l.os, l.tcs = l.is[:0], l.fs[:0], l.gs[:0], l.os[:0], l.tcs[:0]
+	scratchSlot(&l.hs, 0, bsz, H).Zero() // h_0 = 0
+	scratchSlot(&l.cs, 0, bsz, H).Zero() // c_0 = 0
 
 	for t := 0; t < l.T; t++ {
-		xt := tensor.New(bsz, l.In)
+		xt := scratchSlot(&l.xs, t, bsz, l.In)
 		for r := 0; r < bsz; r++ {
 			copy(xt.Row(r), x.Row(r)[t*l.In:(t+1)*l.In])
 		}
-		l.xs = append(l.xs, xt)
 
-		z := tensor.MatMul(xt, l.wx.W)
-		z.AddInPlace(tensor.MatMul(l.hs[t], l.wh.W))
+		l.z = tensor.EnsureShape(l.z, bsz, 4*H)
+		z := tensor.MatMulInto(l.z, xt, l.wx.W)
+		tensor.MatMulAcc(z, l.hs[t], l.wh.W)
 		z.AddRowVector(l.b.W.Data)
 
-		it, ft, gt, ot := tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H)
-		ct, ht, tct := tensor.New(bsz, H), tensor.New(bsz, H), tensor.New(bsz, H)
+		it, ft := scratchSlot(&l.is, t, bsz, H), scratchSlot(&l.fs, t, bsz, H)
+		gt, ot := scratchSlot(&l.gs, t, bsz, H), scratchSlot(&l.os, t, bsz, H)
+		tct := scratchSlot(&l.tcs, t, bsz, H)
+		ht := scratchSlot(&l.hs, t+1, bsz, H)
 		cPrev := l.cs[t]
+		ct := scratchSlot(&l.cs, t+1, bsz, H)
 		for r := 0; r < bsz; r++ {
 			zr := z.Row(r)
 			for j := 0; j < H; j++ {
@@ -81,8 +88,6 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				ht.Row(r)[j] = ov * tc
 			}
 		}
-		l.is, l.fs, l.gs, l.os = append(l.is, it), append(l.fs, ft), append(l.gs, gt), append(l.os, ot)
-		l.cs, l.tcs, l.hs = append(l.cs, ct), append(l.tcs, tct), append(l.hs, ht)
 	}
 	return l.hs[l.T]
 }
@@ -91,15 +96,24 @@ func (l *LSTM) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // gradient and returns the gradient with respect to the input sequence.
 func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	bsz, H := l.bsz, l.Hidden
-	dx := tensor.New(bsz, l.T*l.In)
-	dh := dout.Clone()
-	dc := tensor.New(bsz, H)
+	l.bdx = tensor.EnsureShape(l.bdx, bsz, l.T*l.In)
+	dx := l.bdx
+	l.bdh = tensor.EnsureShape(l.bdh, bsz, H)
+	dh := l.bdh
+	dh.CopyFrom(dout)
+	l.bdc = tensor.EnsureShape(l.bdc, bsz, H)
+	dc := l.bdc
+	dc.Zero()
+	l.bdc2 = tensor.EnsureShape(l.bdc2, bsz, H)
+	dcPrev := l.bdc2
+	l.bdz = tensor.EnsureShape(l.bdz, bsz, 4*H)
+	dz := l.bdz
+	l.bdxt = tensor.EnsureShape(l.bdxt, bsz, l.In)
+	dxt := l.bdxt
 
 	for t := l.T - 1; t >= 0; t-- {
 		it, ft, gt, ot := l.is[t], l.fs[t], l.gs[t], l.os[t]
 		tct, cPrev := l.tcs[t], l.cs[t]
-		dz := tensor.New(bsz, 4*H)
-		dcPrev := tensor.New(bsz, H)
 		for r := 0; r < bsz; r++ {
 			dhr, dcr := dh.Row(r), dc.Row(r)
 			ir, fr, gr, or := it.Row(r), ft.Row(r), gt.Row(r), ot.Row(r)
@@ -119,18 +133,19 @@ func (l *LSTM) Backward(dout *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 
-		l.wx.G.AddInPlace(tensor.MatMulTransA(l.xs[t], dz))
-		l.wh.G.AddInPlace(tensor.MatMulTransA(l.hs[t], dz))
-		for j, v := range tensor.ColSums(dz) {
-			l.b.G.Data[j] += v
-		}
+		tensor.MatMulTransAAcc(l.wx.G, l.xs[t], dz)
+		tensor.MatMulTransAAcc(l.wh.G, l.hs[t], dz)
+		tensor.AccumColSums(l.b.G.Data, dz)
 
-		dxt := tensor.MatMulTransB(dz, l.wx.W)
+		tensor.MatMulTransBInto(dxt, dz, l.wx.W)
 		for r := 0; r < bsz; r++ {
 			copy(dx.Row(r)[t*l.In:(t+1)*l.In], dxt.Row(r))
 		}
-		dh = tensor.MatMulTransB(dz, l.wh.W)
-		dc = dcPrev
+		// dh can be overwritten in place: it is not read again this
+		// iteration. dc ping-pongs with dcPrev, which the next
+		// iteration fully rewrites.
+		tensor.MatMulTransBInto(dh, dz, l.wh.W)
+		dc, dcPrev = dcPrev, dc
 	}
 	return dx
 }

@@ -12,7 +12,8 @@ type Network struct {
 	Head       Layer
 	FeatureDim int
 
-	feat *tensor.Tensor // cached φ output for Backward
+	feat   *tensor.Tensor // cached φ output for Backward
+	params []*Param       // cached Params() result; the layer set is fixed
 }
 
 // NewNetwork assembles a network from a feature extractor producing
@@ -59,8 +60,13 @@ func (n *Network) Backward(dlogits, dfeatExtra *tensor.Tensor) {
 
 // Params returns all parameters, feature extractor first, then head. The
 // flat-vector layout used for aggregation and transport follows this order.
+// The slice is computed once and cached (a network's layer set never changes
+// after construction); callers must not mutate it.
 func (n *Network) Params() []*Param {
-	return append(append([]*Param(nil), n.Feature.Params()...), n.Head.Params()...)
+	if n.params == nil {
+		n.params = append(append([]*Param(nil), n.Feature.Params()...), n.Head.Params()...)
+	}
+	return n.params
 }
 
 // FeatureParams returns only w̃, the parameters of φ.

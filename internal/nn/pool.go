@@ -14,7 +14,8 @@ type MaxPool2D struct {
 	K           int
 	OutH, OutW  int
 
-	argmax []int // flat input index chosen per output element
+	argmax  []int // flat input index chosen per output element
+	out, dx *tensor.Tensor
 }
 
 // NewMaxPool2D creates a max-pooling layer. Input height and width must be
@@ -36,7 +37,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Dim(1) != m.C*m.InH*m.InW {
 		panic(fmt.Sprintf("nn: MaxPool2D input width %d, want %d", x.Dim(1), m.C*m.InH*m.InW))
 	}
-	out := tensor.New(bsz, m.OutFeatures())
+	m.out = tensor.EnsureShape(m.out, bsz, m.OutFeatures())
+	out := m.out
 	if cap(m.argmax) < out.Size() {
 		m.argmax = make([]int, out.Size())
 	}
@@ -74,7 +76,10 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // max in the forward pass.
 func (m *MaxPool2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	bsz := dout.Dim(0)
-	dx := tensor.New(bsz, m.C*m.InH*m.InW)
+	// dx receives scatter-adds, so the reused buffer must be zeroed.
+	m.dx = tensor.EnsureShape(m.dx, bsz, m.C*m.InH*m.InW)
+	dx := m.dx
+	dx.Zero()
 	w := dout.Dim(1)
 	for b := 0; b < bsz; b++ {
 		drow := dout.Row(b)

@@ -71,8 +71,9 @@ func (s *SGD) Step(params []*nn.Param, lr float64) {
 	}
 }
 
-// Reset clears the momentum buffers.
-func (s *SGD) Reset() { s.velocity = nil }
+// Reset clears the momentum buffers in place, keeping their storage so a
+// worker reused across rounds does not re-allocate optimizer state.
+func (s *SGD) Reset() { zeroState(s.velocity) }
 
 // RMSProp is the RMSProp optimizer (Tieleman & Hinton), the local solver
 // the paper uses for the Sent140 LSTM.
@@ -100,8 +101,8 @@ func (r *RMSProp) Step(params []*nn.Param, lr float64) {
 	}
 }
 
-// Reset clears the squared-gradient accumulators.
-func (r *RMSProp) Reset() { r.sq = nil }
+// Reset clears the squared-gradient accumulators in place.
+func (r *RMSProp) Reset() { zeroState(r.sq) }
 
 // Adam is the Adam optimizer with bias correction.
 type Adam struct {
@@ -133,8 +134,20 @@ func (a *Adam) Step(params []*nn.Param, lr float64) {
 	}
 }
 
-// Reset clears the moment estimates and the step counter.
-func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+// Reset clears the moment estimates (in place) and the step counter.
+func (a *Adam) Reset() {
+	zeroState(a.m)
+	zeroState(a.v)
+	a.t = 0
+}
+
+func zeroState(st [][]float64) {
+	for _, s := range st {
+		for i := range s {
+			s[i] = 0
+		}
+	}
+}
 
 func allocState(params []*nn.Param) [][]float64 {
 	st := make([][]float64, len(params))

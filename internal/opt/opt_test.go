@@ -82,8 +82,24 @@ func TestOptimizerReset(t *testing.T) {
 		t.Fatal("momentum state not allocated")
 	}
 	o.Reset()
-	if o.velocity != nil {
-		t.Fatal("Reset must clear momentum state")
+	for _, v := range o.velocity {
+		for i, x := range v {
+			if x != 0 {
+				t.Fatalf("Reset must zero momentum state, velocity[%d] = %v", i, x)
+			}
+		}
+	}
+	// A step after Reset must behave exactly like the first step: state is
+	// kept allocated (no per-round churn) but starts from zero.
+	w0 := append([]float64(nil), params[0].W.Data...)
+	fillQuadGrad(params[0], target)
+	g := append([]float64(nil), params[0].G.Data...)
+	o.Step(params, 0.1)
+	for i := range w0 {
+		want := w0[i] - 0.1*g[i]
+		if math.Abs(params[0].W.Data[i]-want) > 1e-12 {
+			t.Fatalf("post-Reset step w[%d] = %v, want %v", i, params[0].W.Data[i], want)
+		}
 	}
 }
 

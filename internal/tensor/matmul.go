@@ -4,114 +4,60 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// parallelThreshold is the minimum number of output elements before MatMul
-// fans work out to multiple goroutines; below it, the goroutine overhead
-// outweighs the parallelism.
+// parallelThreshold is the minimum number of output elements before a matmul
+// kernel fans work out to multiple goroutines; below it, the goroutine
+// overhead outweighs the parallelism.
 const parallelThreshold = 16 * 1024
 
-// MatMul returns a×b for rank-2 tensors with inner dimensions matching:
-// (m×k)·(k×n) → (m×n). Rows of the output are computed in parallel across
-// GOMAXPROCS workers when the problem is large enough.
-func MatMul(a, b *Tensor) *Tensor {
-	m, k := mustMatrix("MatMul lhs", a)
-	k2, n := mustMatrix("MatMul rhs", b)
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner mismatch (%d×%d)·(%d×%d)", m, k, k2, n))
+// kernelPar caps how many goroutines one kernel invocation may fan out to;
+// 0 means "use GOMAXPROCS". It exists because the kernels are themselves
+// called from worker pools (fl.Federation.MapClients): without a shared
+// budget, W pool workers each spawning GOMAXPROCS kernel goroutines
+// oversubscribe the machine quadratically.
+var kernelPar atomic.Int32
+
+// SetKernelParallelism bounds the number of goroutines a single kernel call
+// may use and returns the previous bound (0 meaning the GOMAXPROCS default);
+// n <= 0 restores the default. Worker pools that split the machine — e.g.
+// giving each of W workers GOMAXPROCS/W — must restore the returned value
+// when the pooled phase ends.
+func SetKernelParallelism(n int) int {
+	if n < 0 {
+		n = 0
 	}
-	out := New(m, n)
-	mulInto(out, a, b, m, k, n)
-	return out
+	return int(kernelPar.Swap(int32(n)))
 }
 
-// mulInto computes out = a·b with the classic ikj loop order, which keeps
-// the inner loop streaming over contiguous rows of b and out.
-func mulInto(out, a, b *Tensor, m, k, n int) {
-	parallelRows(m, m*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-}
-
-// MatMulTransB returns a×bᵀ: (m×k)·(n×k)ᵀ → (m×n). This is the natural
-// layout for the backward pass of a dense layer (dX = dY·Wᵀ) and avoids
-// materializing the transpose.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	m, k := mustMatrix("MatMulTransB lhs", a)
-	n, k2 := mustMatrix("MatMulTransB rhs", b)
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner mismatch (%d×%d)·(%d×%d)ᵀ", m, k, n, k2))
+// KernelParallelism returns the current kernel goroutine bound.
+func KernelParallelism() int {
+	if v := kernelPar.Load(); v > 0 {
+		return int(v)
 	}
-	out := New(m, n)
-	parallelRows(m, m*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				orow[j] = s
-			}
-		}
-	})
-	return out
+	return runtime.GOMAXPROCS(0)
 }
 
-// MatMulTransA returns aᵀ×b: (k×m)ᵀ·(k×n) → (m×n). This is the natural
-// layout for weight gradients (dW = Xᵀ·dY).
-func MatMulTransA(a, b *Tensor) *Tensor {
-	k, m := mustMatrix("MatMulTransA lhs", a)
-	k2, n := mustMatrix("MatMulTransA rhs", b)
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA inner mismatch (%d×%d)ᵀ·(%d×%d)", k, m, k2, n))
-	}
-	out := New(m, n)
-	// Accumulate over k with the output row indexed by a's column. Parallelize
-	// over output rows to keep writes disjoint.
-	parallelRows(m, m*n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.Data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
-}
-
-// parallelRows splits [0,m) into contiguous chunks and runs fn on each,
-// using goroutines only when the total work is above parallelThreshold.
-func parallelRows(m, work int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+// rowWorkers decides how many goroutines a kernel over m output rows and
+// `work` total output elements should use; 1 means serial. The serial case
+// is handled inline at each kernel's call site — not inside a dispatcher
+// taking a closure — so the steady-state small-kernel path allocates
+// nothing.
+func rowWorkers(m, work int) int {
+	workers := KernelParallelism()
 	if work < parallelThreshold || workers <= 1 || m < 2 {
-		fn(0, m)
-		return
+		return 1
 	}
 	if workers > m {
 		workers = m
 	}
+	return workers
+}
+
+// parallelRows splits [0,m) into contiguous chunks across workers
+// goroutines. Callers must have decided workers > 1 via rowWorkers.
+func parallelRows(workers, m int, fn func(lo, hi int)) {
 	chunk := (m + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < m; lo += chunk {
@@ -128,9 +74,223 @@ func parallelRows(m, work int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-func mustMatrix(what string, t *Tensor) (rows, cols int) {
+// MatMul returns a×b for rank-2 tensors with inner dimensions matching:
+// (m×k)·(k×n) → (m×n). Rows of the output are computed in parallel, within
+// the kernel-parallelism budget, when the problem is large enough.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := mustMulShapes("MatMul", a, b)
+	out := New(m, n)
+	matMulAcc(out, a, b, m, k, n)
+	return out
+}
+
+// MatMulInto computes out = a·b, writing into the caller-provided out of
+// shape (m×n). out must not alias a or b. It returns out.
+func MatMulInto(out, a, b *Tensor) *Tensor {
+	m, k, n := mustMulShapes("MatMulInto", a, b)
+	mustOut("MatMulInto", out, a, b, m, n)
+	out.Zero()
+	matMulAcc(out, a, b, m, k, n)
+	return out
+}
+
+// MatMulAcc computes out += a·b into the caller-provided out of shape
+// (m×n). out must not alias a or b. It returns out.
+func MatMulAcc(out, a, b *Tensor) *Tensor {
+	m, k, n := mustMulShapes("MatMulAcc", a, b)
+	mustOut("MatMulAcc", out, a, b, m, n)
+	matMulAcc(out, a, b, m, k, n)
+	return out
+}
+
+// matMulAcc accumulates out += a·b with the classic ikj loop order, which
+// keeps the inner loop streaming over contiguous rows of b and out.
+func matMulAcc(out, a, b *Tensor, m, k, n int) {
+	if w := rowWorkers(m, m*n); w == 1 {
+		matMulAccRange(out, a, b, k, n, 0, m)
+	} else {
+		parallelRows(w, m, func(lo, hi int) { matMulAccRange(out, a, b, k, n, lo, hi) })
+	}
+}
+
+func matMulAccRange(out, a, b *Tensor, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransB returns a×bᵀ: (m×k)·(n×k)ᵀ → (m×n). This is the natural
+// layout for the backward pass of a dense layer (dX = dY·Wᵀ) and avoids
+// materializing the transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := mustTransBShapes("MatMulTransB", a, b)
+	out := New(m, n)
+	matMulTransB(out, a, b, m, k, n, false)
+	return out
+}
+
+// MatMulTransBInto computes out = a×bᵀ into the caller-provided out of
+// shape (m×n). out must not alias a or b. It returns out.
+func MatMulTransBInto(out, a, b *Tensor) *Tensor {
+	m, k, n := mustTransBShapes("MatMulTransBInto", a, b)
+	mustOut("MatMulTransBInto", out, a, b, m, n)
+	matMulTransB(out, a, b, m, k, n, false)
+	return out
+}
+
+// MatMulTransBAcc computes out += a×bᵀ into the caller-provided out of
+// shape (m×n). out must not alias a or b. It returns out.
+func MatMulTransBAcc(out, a, b *Tensor) *Tensor {
+	m, k, n := mustTransBShapes("MatMulTransBAcc", a, b)
+	mustOut("MatMulTransBAcc", out, a, b, m, n)
+	matMulTransB(out, a, b, m, k, n, true)
+	return out
+}
+
+func matMulTransB(out, a, b *Tensor, m, k, n int, acc bool) {
+	if w := rowWorkers(m, m*n); w == 1 {
+		matMulTransBRange(out, a, b, k, n, acc, 0, m)
+	} else {
+		parallelRows(w, m, func(lo, hi int) { matMulTransBRange(out, a, b, k, n, acc, lo, hi) })
+	}
+}
+
+func matMulTransBRange(out, a, b *Tensor, k, n int, acc bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if acc {
+				orow[j] += s
+			} else {
+				orow[j] = s
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ×b: (k×m)ᵀ·(k×n) → (m×n). This is the natural
+// layout for weight gradients (dW = Xᵀ·dY).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := mustTransAShapes("MatMulTransA", a, b)
+	out := New(m, n)
+	matMulTransAAcc(out, a, b, k, m, n)
+	return out
+}
+
+// MatMulTransAInto computes out = aᵀ×b into the caller-provided out of
+// shape (m×n). out must not alias a or b. It returns out.
+func MatMulTransAInto(out, a, b *Tensor) *Tensor {
+	k, m, n := mustTransAShapes("MatMulTransAInto", a, b)
+	mustOut("MatMulTransAInto", out, a, b, m, n)
+	out.Zero()
+	matMulTransAAcc(out, a, b, k, m, n)
+	return out
+}
+
+// MatMulTransAAcc computes out += aᵀ×b into the caller-provided out of
+// shape (m×n) — the gradient-accumulation primitive dW += Xᵀ·dY applied
+// directly to a parameter's gradient tensor. out must not alias a or b. It
+// returns out.
+func MatMulTransAAcc(out, a, b *Tensor) *Tensor {
+	k, m, n := mustTransAShapes("MatMulTransAAcc", a, b)
+	mustOut("MatMulTransAAcc", out, a, b, m, n)
+	matMulTransAAcc(out, a, b, k, m, n)
+	return out
+}
+
+// matMulTransAAcc accumulates over k with the output row indexed by a's
+// column, parallelizing over output rows to keep writes disjoint.
+func matMulTransAAcc(out, a, b *Tensor, k, m, n int) {
+	if w := rowWorkers(m, m*n); w == 1 {
+		matMulTransARange(out, a, b, k, m, n, 0, m)
+	} else {
+		parallelRows(w, m, func(lo, hi int) { matMulTransARange(out, a, b, k, m, n, lo, hi) })
+	}
+}
+
+func matMulTransARange(out, a, b *Tensor, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a.Data[p*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+func mustMulShapes(op string, a, b *Tensor) (m, k, n int) {
+	m, k = mustMatrix(op, "lhs", a)
+	k2, n := mustMatrix(op, "rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner mismatch (%d×%d)·(%d×%d)", op, m, k, k2, n))
+	}
+	return m, k, n
+}
+
+func mustTransBShapes(op string, a, b *Tensor) (m, k, n int) {
+	m, k = mustMatrix(op, "lhs", a)
+	n, k2 := mustMatrix(op, "rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner mismatch (%d×%d)·(%d×%d)ᵀ", op, m, k, n, k2))
+	}
+	return m, k, n
+}
+
+func mustTransAShapes(op string, a, b *Tensor) (k, m, n int) {
+	k, m = mustMatrix(op, "lhs", a)
+	k2, n := mustMatrix(op, "rhs", b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: %s inner mismatch (%d×%d)ᵀ·(%d×%d)", op, k, m, k2, n))
+	}
+	return k, m, n
+}
+
+// mustOut validates a caller-provided output tensor: rank-2, exact shape,
+// and no storage aliasing with either input (the kernels stream over rows
+// of out while reading a and b, so aliasing silently corrupts results).
+func mustOut(op string, out, a, b *Tensor, m, n int) {
+	om, on := mustMatrix(op, "out", out)
+	if om != m || on != n {
+		panic(fmt.Sprintf("tensor: %s out shape %v, want (%d×%d)", op, out.shape, m, n))
+	}
+	if sameStorage(out, a) || sameStorage(out, b) {
+		panic(fmt.Sprintf("tensor: %s out must not alias an input", op))
+	}
+}
+
+// sameStorage reports whether two tensors share a backing array start; it
+// is a cheap guard, not a full overlap check.
+func sameStorage(x, y *Tensor) bool {
+	return len(x.Data) > 0 && len(y.Data) > 0 && &x.Data[0] == &y.Data[0]
+}
+
+// mustMatrix takes op and operand separately so the hot path never builds a
+// message string; the two only meet inside the panic.
+func mustMatrix(op, operand string, t *Tensor) (rows, cols int) {
 	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: %s must be rank-2, got shape %v", what, t.shape))
+		panic(fmt.Sprintf("tensor: %s %s must be rank-2, got shape %v", op, operand, t.shape))
 	}
 	return t.shape[0], t.shape[1]
 }

@@ -44,6 +44,45 @@ func Scale(t *Tensor, a float64) *Tensor {
 	return out
 }
 
+// AddInto sets out = t + u elementwise and returns out. out may alias t or u.
+func AddInto(out, t, u *Tensor) *Tensor {
+	mustSameShape("AddInto", t, u)
+	mustSameShape("AddInto", out, t)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] + u.Data[i]
+	}
+	return out
+}
+
+// SubInto sets out = t - u elementwise and returns out. out may alias t or u.
+func SubInto(out, t, u *Tensor) *Tensor {
+	mustSameShape("SubInto", t, u)
+	mustSameShape("SubInto", out, t)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] - u.Data[i]
+	}
+	return out
+}
+
+// MulInto sets out = t ⊙ u elementwise and returns out. out may alias t or u.
+func MulInto(out, t, u *Tensor) *Tensor {
+	mustSameShape("MulInto", t, u)
+	mustSameShape("MulInto", out, t)
+	for i := range t.Data {
+		out.Data[i] = t.Data[i] * u.Data[i]
+	}
+	return out
+}
+
+// ScaleInto sets out = a*t and returns out. out may alias t.
+func ScaleInto(out, t *Tensor, a float64) *Tensor {
+	mustSameShape("ScaleInto", out, t)
+	for i := range t.Data {
+		out.Data[i] = a * t.Data[i]
+	}
+	return out
+}
+
 // AddInPlace sets t += u.
 func (t *Tensor) AddInPlace(u *Tensor) {
 	mustSameShape("AddInPlace", t, u)
@@ -140,19 +179,25 @@ func ColMean(t *Tensor) []float64 {
 	if len(t.shape) != 2 {
 		panic(fmt.Sprintf("tensor: ColMean on rank-%d tensor", len(t.shape)))
 	}
-	n, d := t.shape[0], t.shape[1]
-	out := make([]float64, d)
-	for i := 0; i < n; i++ {
-		row := t.Data[i*d : (i+1)*d]
-		for j, v := range row {
-			out[j] += v
-		}
+	return ColMeanInto(make([]float64, t.shape[1]), t)
+}
+
+// ColMeanInto writes the per-column mean of a rank-2 tensor into dst, which
+// must have length t.Dim(1), and returns dst.
+func ColMeanInto(dst []float64, t *Tensor) []float64 {
+	if len(t.shape) != 2 || len(dst) != t.shape[1] {
+		panic(fmt.Sprintf("tensor: ColMeanInto dst(%d) for shape %v", len(dst), t.shape))
 	}
+	n := t.shape[0]
+	for j := range dst {
+		dst[j] = 0
+	}
+	AccumColSums(dst, t)
 	inv := 1.0 / float64(n)
-	for j := range out {
-		out[j] *= inv
+	for j := range dst {
+		dst[j] *= inv
 	}
-	return out
+	return dst
 }
 
 // AddRowVector adds the vector v to every row of the rank-2 tensor t in
@@ -175,15 +220,24 @@ func ColSums(t *Tensor) []float64 {
 	if len(t.shape) != 2 {
 		panic(fmt.Sprintf("tensor: ColSums on rank-%d tensor", len(t.shape)))
 	}
+	out := make([]float64, t.shape[1])
+	AccumColSums(out, t)
+	return out
+}
+
+// AccumColSums adds the per-column sums of a rank-2 tensor into dst
+// (dst[j] += Σ_i t[i][j]) — the allocation-free bias-gradient accumulator.
+func AccumColSums(dst []float64, t *Tensor) {
+	if len(t.shape) != 2 || len(dst) != t.shape[1] {
+		panic(fmt.Sprintf("tensor: AccumColSums dst(%d) for shape %v", len(dst), t.shape))
+	}
 	n, d := t.shape[0], t.shape[1]
-	out := make([]float64, d)
 	for i := 0; i < n; i++ {
 		row := t.Data[i*d : (i+1)*d]
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
 }
 
 func mustSameShape(op string, t, u *Tensor) {

@@ -22,11 +22,16 @@ type Tensor struct {
 // New allocates a zero-filled tensor with the given shape. It panics on a
 // non-positive dimension, because a bad shape is always a programming error
 // in this codebase, never a runtime condition.
+//
+// The panic messages here and in EnsureShape deliberately avoid formatting
+// the shape slice itself: referencing it in fmt.Sprintf would make the
+// variadic parameter escape, forcing every caller to heap-allocate its
+// `...int` argument even on the happy path.
 func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: invalid dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: invalid dimension %d", d))
 		}
 		n *= d
 	}
@@ -36,6 +41,32 @@ func New(shape ...int) *Tensor {
 // Zeros is an alias of New, named for readability at call sites that care
 // about the initial contents.
 func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// EnsureShape returns a tensor of the given shape, reusing t's backing
+// storage when it has enough capacity and allocating a fresh tensor
+// otherwise. It is the primitive behind every scratch buffer in the hot
+// path: after warm-up the capacity check always succeeds and the call
+// allocates nothing. The returned tensor's contents are unspecified —
+// callers that need zeros must call Zero explicitly. t may be nil.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: invalid dimension %d", d))
+		}
+		n *= d
+	}
+	if t == nil || cap(t.Data) < n {
+		return New(shape...)
+	}
+	t.Data = t.Data[:n]
+	if len(t.shape) == len(shape) {
+		copy(t.shape, shape)
+	} else {
+		t.shape = append(t.shape[:0], shape...)
+	}
+	return t
+}
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
 // directly (not copied); it panics if the element count does not match.
