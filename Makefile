@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race bench bench-json repro-fast repro-bench examples
+.PHONY: all build vet test test-race bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
@@ -25,9 +25,24 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Re-record the hot-path micro-benchmarks (train step, im2col, matmul, δ
-# computation) into BENCH_hotpath.json.
+# computation) into the current PR's record. Each PR that touches the hot
+# path commits a fresh BENCH_<pr>.json next to the previous ones, so the
+# trajectory stays in-repo.
+BENCH_PREV ?= BENCH_hotpath.json
+BENCH_CUR  ?= BENCH_gemm.json
+
 bench-json:
-	go run ./cmd/flbench -bench-json BENCH_hotpath.json
+	go run ./cmd/flbench -bench-json $(BENCH_CUR)
+
+# Gate the current record against the previous PR's: fails when any case
+# regressed by more than 10% ns/op or grew its steady-state allocations.
+bench-compare:
+	go run ./cmd/flbench -bench-compare $(BENCH_PREV),$(BENCH_CUR)
+
+# A short fuzz pass over the tensor wire decoder (malformed and truncated
+# input must error, never panic or over-allocate).
+fuzz-short:
+	go test ./internal/tensor -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 
 # Regenerate every table/figure at the fast scale (minutes each; raw
 # outputs land in results/).

@@ -18,12 +18,15 @@ import (
 )
 
 // BenchmarkMicro runs the hot-path micro-benchmarks (train step, im2col,
-// matmul, δ computation). The same cases back `flbench -bench-json`, which
-// records them into BENCH_hotpath.json; run with -benchmem to see the
-// steady-state B/op and allocs/op the arena design targets.
+// matmul, δ computation) with kernel parallelism pinned to 1, matching the
+// serial rows of the JSON reports. The same cases back `flbench
+// -bench-json`, which records them into the per-PR BENCH_*.json files; run
+// with -benchmem to see the steady-state B/op and allocs/op the arena
+// design targets.
 func BenchmarkMicro(b *testing.B) {
 	for _, c := range bench.Cases() {
-		b.Run(c.Name, c.Bench)
+		c := c
+		b.Run(c.Name, func(b *testing.B) { bench.RunSerial(b, c) })
 	}
 }
 

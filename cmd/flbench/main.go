@@ -13,7 +13,10 @@
 //
 // With -bench-json <path> it instead runs the hot-path micro-benchmarks
 // (train step, im2col, matmul, δ computation) and records ns/op, B/op, and
-// allocs/op as JSON — the regression record kept in BENCH_hotpath.json.
+// allocs/op as JSON — the per-PR regression records kept in BENCH_*.json
+// (BENCH_hotpath.json, BENCH_gemm.json, …). With -bench-compare PREV,CUR it
+// diffs two such records and exits non-zero when a case regressed by more
+// than 10% ns/op or grew its steady-state allocations (`make bench-compare`).
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
@@ -35,8 +39,22 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 		benchJSON = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
+		benchCmp  = flag.String("bench-compare", "", "compare two bench JSON records given as PREV,CUR; exit 1 on >10% ns/op regression")
 	)
 	flag.Parse()
+
+	if *benchCmp != "" {
+		prevPath, curPath, ok := strings.Cut(*benchCmp, ",")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "flbench: -bench-compare wants PREV,CUR (two JSON paths)")
+			os.Exit(2)
+		}
+		if err := bench.CompareFiles(prevPath, curPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		fmt.Fprintln(os.Stderr, "running hot-path micro-benchmarks…")

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// maxNsRegression is the fractional serial ns/op increase tolerated by
+// Compare before it reports failure: benchmarks recorded on the same
+// machine jitter a few percent run to run; >10% is a real regression.
+const maxNsRegression = 0.10
+
+// ReadReport loads a BENCH_*.json document.
+func ReadReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Compare diffs two recorded reports case by case, writes a ns/op table to
+// w, and returns an error naming every case whose serial ns/op regressed by
+// more than 10% or whose steady-state allocations grew. Cases present in
+// only one report are listed but never fail the gate, so the suite can grow
+// between PRs.
+func Compare(prev, cur *Report, w io.Writer) error {
+	prevByName := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		prevByName[r.Name] = r
+	}
+	curNames := make(map[string]bool, len(cur.Results))
+
+	fmt.Fprintf(w, "%-24s %14s %14s %8s\n", "case", "prev ns/op", "cur ns/op", "Δ")
+	var failures []string
+	for _, c := range cur.Results {
+		curNames[c.Name] = true
+		p, ok := prevByName[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %14s %14.0f %8s\n", c.Name, "—", c.NsPerOp, "new")
+			continue
+		}
+		delta := c.NsPerOp/p.NsPerOp - 1
+		fmt.Fprintf(w, "%-24s %14.0f %14.0f %+7.1f%%\n", c.Name, p.NsPerOp, c.NsPerOp, delta*100)
+		if delta > maxNsRegression {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", c.Name, p.NsPerOp, c.NsPerOp, delta*100))
+		}
+		if c.AllocsPerOp > p.AllocsPerOp {
+			failures = append(failures,
+				fmt.Sprintf("%s: %d → %d allocs/op", c.Name, p.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	var dropped []string
+	for name := range prevByName {
+		if !curNames[name] {
+			dropped = append(dropped, name)
+		}
+	}
+	sort.Strings(dropped)
+	for _, name := range dropped {
+		fmt.Fprintf(w, "%-24s %14.0f %14s %8s\n", name, prevByName[name].NsPerOp, "—", "dropped")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: %d regression(s) beyond %.0f%%:\n  %s",
+			len(failures), maxNsRegression*100, joinLines(failures))
+	}
+	return nil
+}
+
+// CompareFiles is Compare over two recorded JSON paths.
+func CompareFiles(prevPath, curPath string, w io.Writer) error {
+	prev, err := ReadReport(prevPath)
+	if err != nil {
+		return err
+	}
+	cur, err := ReadReport(curPath)
+	if err != nil {
+		return err
+	}
+	return Compare(prev, cur, w)
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -1,8 +1,9 @@
 // Package bench defines the hot-path micro-benchmarks (train step, im2col,
 // matmul, δ computation) shared by `go test -bench BenchmarkMicro` and the
-// `flbench -bench-json` regression recorder. Keeping the cases in one place
-// guarantees the JSON trajectory in BENCH_hotpath.json measures exactly what
-// the test benchmarks measure.
+// `flbench -bench-json` regression recorder, plus the JSON compare gate
+// behind `make bench-compare`. Keeping the cases in one place guarantees the
+// JSON trajectory in BENCH_*.json measures exactly what the test benchmarks
+// measure.
 package bench
 
 import (
@@ -20,24 +21,36 @@ import (
 	"repro/internal/tensor"
 )
 
-// Case is one named micro-benchmark.
+// Case is one named micro-benchmark. Bench must not set the kernel
+// parallelism itself: the harness pins it (1 for the serial measurement,
+// NumCPU for the scaling measurement of Scaling cases), so one case
+// definition serves both rows of the report.
 type Case struct {
-	Name  string
-	Bench func(b *testing.B)
+	Name    string
+	Scaling bool // also measured at NumCPU kernel parallelism
+	Bench   func(b *testing.B)
 }
 
-// Result is one case's measurement, the schema of BENCH_hotpath.json rows.
+// Result is one case's measurement, the schema of a BENCH_*.json row.
+// NsPerOp, BytesPerOp, and AllocsPerOp are measured with kernel parallelism
+// pinned to 1 (matching the per-worker budget inside a fully subscribed
+// MapClients pool). For Scaling cases, NsPerOpParallel is the same
+// measurement at kernel parallelism NumCPU and ParallelSpeedup the serial/
+// parallel ratio (1.0 on a single-core machine).
 type Result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name            string  `json:"name"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BytesPerOp      int64   `json:"bytes_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	NsPerOpParallel float64 `json:"ns_per_op_parallel,omitempty"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
-// Report is the top-level BENCH_hotpath.json document.
+// Report is the top-level BENCH_*.json document.
 type Report struct {
 	Generated  string   `json:"generated"`
 	GoMaxProcs int      `json:"go_maxprocs"`
+	NumCPU     int      `json:"num_cpu"`
 	Results    []Result `json:"results"`
 }
 
@@ -51,13 +64,9 @@ func synthDataset(rng *rand.Rand, n, features, classes int) *data.Dataset {
 }
 
 // trainStepCase benchmarks steady-state LocalTrain steps on a single-worker
-// federation. Kernels run serial, matching the per-worker budget inside a
-// fully subscribed MapClients pool, so allocs/op reflects the arena design
-// rather than parallel-dispatch overhead.
+// federation.
 func trainStepCase(name string, builder nn.Builder, ds *data.Dataset, batch int) Case {
-	return Case{Name: name, Bench: func(b *testing.B) {
-		prev := tensor.SetKernelParallelism(1)
-		defer tensor.SetKernelParallelism(prev)
+	return Case{Name: name, Scaling: true, Bench: func(b *testing.B) {
 		cfg := fl.Config{Builder: builder, ModelSeed: 1, Seed: 2, LocalSteps: 1, BatchSize: batch, Workers: 1}
 		f := fl.NewFederation(cfg, []*data.Dataset{ds}, nil)
 		w, c := f.Worker(0), f.Clients[0]
@@ -96,11 +105,25 @@ func Cases() []Case {
 				c.Im2col(img, dst)
 			}
 		}},
-		{Name: "matmul/64x128x64", Bench: func(b *testing.B) {
+		{Name: "matmul/64x128x64", Scaling: true, Bench: func(b *testing.B) {
 			r := rand.New(rand.NewSource(5))
 			x := tensor.RandNormal(r, 1, 64, 128)
 			y := tensor.RandNormal(r, 1, 128, 64)
 			out := tensor.New(64, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(out, x, y)
+			}
+		}},
+		{Name: "matmul/512x256x256", Scaling: true, Bench: func(b *testing.B) {
+			// Large enough (131k output elements) to cross the kernels'
+			// parallel threshold, so the scaling row measures real
+			// macro-block fan-out rather than the serial fast path.
+			r := rand.New(rand.NewSource(7))
+			x := tensor.RandNormal(r, 1, 512, 256)
+			y := tensor.RandNormal(r, 1, 256, 256)
+			out := tensor.New(512, 256)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -123,17 +146,42 @@ func Cases() []Case {
 	}
 }
 
-// Micro runs every case through testing.Benchmark and collects the results.
+// RunSerial runs one case with the kernel parallelism pinned to 1, the
+// configuration BenchmarkMicro and the serial columns of the JSON report
+// use.
+func RunSerial(b *testing.B, c Case) {
+	prev := tensor.SetKernelParallelism(1)
+	defer tensor.SetKernelParallelism(prev)
+	c.Bench(b)
+}
+
+func benchmarkAt(par int, c Case) testing.BenchmarkResult {
+	prev := tensor.SetKernelParallelism(par)
+	defer tensor.SetKernelParallelism(prev)
+	return testing.Benchmark(c.Bench)
+}
+
+// Micro runs every case through testing.Benchmark and collects the results:
+// all cases at kernel parallelism 1, Scaling cases additionally at NumCPU.
 func Micro() []Result {
+	ncpu := runtime.NumCPU()
 	var out []Result
 	for _, c := range Cases() {
-		r := testing.Benchmark(c.Bench)
-		out = append(out, Result{
+		serial := benchmarkAt(1, c)
+		r := Result{
 			Name:        c.Name,
-			NsPerOp:     float64(r.NsPerOp()),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
-		})
+			NsPerOp:     float64(serial.NsPerOp()),
+			BytesPerOp:  serial.AllocedBytesPerOp(),
+			AllocsPerOp: serial.AllocsPerOp(),
+		}
+		if c.Scaling {
+			par := benchmarkAt(ncpu, c)
+			r.NsPerOpParallel = float64(par.NsPerOp())
+			if r.NsPerOpParallel > 0 {
+				r.ParallelSpeedup = r.NsPerOp / r.NsPerOpParallel
+			}
+		}
+		out = append(out, r)
 	}
 	return out
 }
@@ -149,6 +197,7 @@ func WriteJSON(path string) error {
 	rep := Report{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Results:    Micro(),
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")

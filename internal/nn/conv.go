@@ -73,15 +73,19 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	prod := tensor.MatMulTransBInto(c.prod, cols, c.w.W)
 	prod.AddRowVector(c.b.W.Data)
 
-	// Scatter to channel-major output layout (B, OutC·OH·OW).
+	// Scatter to channel-major output layout (B, OutC·OH·OW). Channel-outer
+	// order keeps the writes contiguous (a full OH·OW plane per channel) and
+	// the long ohw loop innermost; the strided reads revisit each prod cache
+	// line OutC times while it is still hot.
 	c.out = tensor.EnsureShape(c.out, bsz, c.OutC*ohw)
 	out := c.out
 	for b := 0; b < bsz; b++ {
 		orow := out.Row(b)
-		for p := 0; p < ohw; p++ {
-			prow := prod.Row(b*ohw + p)
-			for oc := 0; oc < c.OutC; oc++ {
-				orow[oc*ohw+p] = prow[oc]
+		pbase := prod.Data[b*ohw*c.OutC:]
+		for oc := 0; oc < c.OutC; oc++ {
+			dst := orow[oc*ohw : (oc+1)*ohw]
+			for p := range dst {
+				dst[p] = pbase[p*c.OutC+oc]
 			}
 		}
 	}
@@ -95,15 +99,18 @@ func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	ohw := c.OutH * c.OutW
 	ickk := c.InC * c.K * c.K
 
-	// Gather dout into the matmul layout (B·OH·OW, OutC).
+	// Gather dout into the matmul layout (B·OH·OW, OutC), channel-outer so
+	// the reads stream a contiguous OH·OW plane per channel (the transpose of
+	// the forward scatter).
 	c.dmat = tensor.EnsureShape(c.dmat, bsz*ohw, c.OutC)
 	dmat := c.dmat
 	for b := 0; b < bsz; b++ {
 		drow := dout.Row(b)
-		for p := 0; p < ohw; p++ {
-			dst := dmat.Row(b*ohw + p)
-			for oc := 0; oc < c.OutC; oc++ {
-				dst[oc] = drow[oc*ohw+p]
+		dbase := dmat.Data[b*ohw*c.OutC:]
+		for oc := 0; oc < c.OutC; oc++ {
+			src := drow[oc*ohw : (oc+1)*ohw]
+			for p, v := range src {
+				dbase[p*c.OutC+oc] = v
 			}
 		}
 	}

@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte streams to the wire-format decoder.
+// Malformed or truncated input must come back as an error — never a panic,
+// and never an allocation sized by an unvalidated header (DecodeFloats reads
+// in bounded chunks, so a forged element count on a short stream fails after
+// one chunk). Successful decodes must re-encode to exactly the bytes
+// consumed.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][]int{{1}, {7}, {3, 4}, {2, 3, 5}} {
+		var buf bytes.Buffer
+		if err := RandNormal(rng, 1, shape...).Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		full := buf.Bytes()
+		f.Add(append([]byte(nil), full...))
+		f.Add(append([]byte(nil), full[:len(full)/2]...)) // truncated mid-payload
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                   // absurd rank
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})                   // zero dim
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0x7f})       // one huge dim, no payload
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0})       // overflow-bait dim product
+	f.Add([]byte{3, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 5, 0}) // truncated dims
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		tens, err := Decode(r)
+		if err != nil {
+			return
+		}
+		if tens.Size() <= 0 {
+			t.Fatalf("decoded tensor with size %d", tens.Size())
+		}
+		var out bytes.Buffer
+		if err := tens.Encode(&out); err != nil {
+			t.Fatalf("re-encode after successful decode: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip: re-encoded %d bytes differ from the %d consumed", out.Len(), consumed)
+		}
+	})
+}

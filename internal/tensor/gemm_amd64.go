@@ -1,0 +1,20 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// gemmHasAsm reports that this build includes the AVX2+FMA micro-kernel;
+// whether it is actually used is decided at init by cpuHasAVX2FMA.
+const gemmHasAsm = true
+
+// gemmMicroAVX2 accumulates one full 4×8 tile from packed micro-panels:
+// c[i·ldc + j] += Σ_p ap[p·4+i] · bp[p·8+j], for i in 0..3, j in 0..7.
+// kc must be ≥ 1; ap and bp must hold kc·4 and kc·8 elements; the four
+// output rows must be valid for 8 elements each. Implemented in
+// gemm_amd64.s with eight YMM accumulators.
+//
+//go:noescape
+func gemmMicroAVX2(kc int, ap, bp, c *float64, ldc int)
+
+// cpuHasAVX2FMA reports whether the CPU supports AVX2 and FMA3 and the OS
+// has enabled YMM state saving (CPUID + XGETBV probe in gemm_amd64.s).
+func cpuHasAVX2FMA() bool

@@ -1,0 +1,157 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func gemmMicroAVX2(kc int, ap, bp, c *float64, ldc int)
+//
+// Accumulates one 4×8 micro-tile over packed panels:
+//
+//	c[i*ldc + j] += Σ_p ap[p*4+i] * bp[p*8+j]
+//
+// Register plan: Y0..Y7 hold the tile (row i in Y(2i) cols 0-3 and Y(2i+1)
+// cols 4-7), Y8/Y9 hold the current packed B row, Y10..Y13 the broadcast A
+// values. The p loop is unrolled ×2; each step issues 2 B loads, 4
+// broadcasts, and 8 fused multiply-adds for 32 flop-pairs.
+TEXT ·gemmMicroAVX2(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX              // row stride in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	MOVQ CX, AX
+	SHRQ $1, AX
+	JZ   tail
+
+loop:
+	VMOVUPD      (BX), Y8
+	VMOVUPD      32(BX), Y9
+	VBROADCASTSD (SI), Y10
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+	VMOVUPD      64(BX), Y8
+	VMOVUPD      96(BX), Y9
+	VBROADCASTSD 32(SI), Y10
+	VBROADCASTSD 40(SI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 48(SI), Y12
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 56(SI), Y13
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+	ADDQ $64, SI
+	ADDQ $128, BX
+	DECQ AX
+	JNZ  loop
+
+tail:
+	ANDQ $1, CX
+	JZ   store
+
+	VMOVUPD      (BX), Y8
+	VMOVUPD      32(BX), Y9
+	VBROADCASTSD (SI), Y10
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+store:
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y8, Y0, Y0
+	VADDPD  Y9, Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    DX, DI
+
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y8, Y2, Y2
+	VADDPD  Y9, Y3, Y3
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ    DX, DI
+
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y8, Y4, Y4
+	VADDPD  Y9, Y5, Y5
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ    DX, DI
+
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VADDPD  Y8, Y6, Y6
+	VADDPD  Y9, Y7, Y7
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+
+	VZEROUPPER
+	RET
+
+// func cpuHasAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA (bit 12), OSXSAVE (bit 27), and AVX (bit 28);
+// XGETBV(0) must show the OS saving XMM and YMM state (bits 1 and 2); and
+// CPUID.(7,0):EBX must report AVX2 (bit 5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVQ  $1, AX
+	XORQ  CX, CX
+	CPUID
+	MOVL  CX, R8
+	ANDL  $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL  R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE   no
+
+	XORL  CX, CX
+	XGETBV
+	ANDL  $6, AX
+	CMPL  AX, $6
+	JNE   no
+
+	MOVQ  $7, AX
+	XORQ  CX, CX
+	CPUID
+	ANDL  $(1<<5), BX
+	JZ    no
+
+	MOVB  $1, ret+0(FP)
+	RET
+
+no:
+	MOVB  $0, ret+0(FP)
+	RET

@@ -1,0 +1,264 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the packed, blocked GEMM core: every public variant is
+// checked against a deliberately naive reference over randomized and
+// exhaustive awkward shapes (dims far from multiples of the 4×8 micro-tile
+// and straddling the MC/KC/NC block boundaries), on both the serial and the
+// parallel dispatch path. The reference is kept private to this test file so
+// the production code has exactly one matmul implementation.
+
+// refGemm computes op(a)·op(b) with the textbook triple loop.
+func refGemm(a, b *Tensor, m, k, n int, transA, transB bool) *Tensor {
+	at := func(i, p int) float64 {
+		if transA {
+			return a.Data[p*a.Dim(1)+i]
+		}
+		return a.Data[i*a.Dim(1)+p]
+	}
+	bt := func(p, j int) float64 {
+		if transB {
+			return b.Data[j*b.Dim(1)+p]
+		}
+		return b.Data[p*b.Dim(1)+j]
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+// gemmTol is the comparison tolerance: the blocked kernel may use fused
+// multiply-add (one rounding instead of two per term), so results differ
+// from the naive reference by a few ulps scaled by the reduction length.
+func gemmTol(k int) float64 { return 1e-12 * math.Sqrt(float64(k)+1) }
+
+func checkAllVariantsAgainstNaive(t *testing.T, rng *rand.Rand, m, k, n int) {
+	t.Helper()
+	tol := gemmTol(k)
+	a := RandNormal(rng, 1, m, k)
+	b := RandNormal(rng, 1, k, n)
+	at := RandNormal(rng, 1, k, m)
+	bt := RandNormal(rng, 1, n, k)
+	base := RandNormal(rng, 1, m, n)
+
+	type variant struct {
+		name string
+		got  *Tensor
+		want *Tensor
+	}
+	addNaive := func(w *Tensor) *Tensor {
+		out := base.Clone()
+		for i := range out.Data {
+			out.Data[i] += w.Data[i]
+		}
+		return out
+	}
+	wantNN := refGemm(a, b, m, k, n, false, false)
+	wantNT := refGemm(a, bt, m, k, n, false, true)
+	wantTN := refGemm(at, b, m, k, n, true, false)
+	variants := []variant{
+		{"MatMul", MatMul(a, b), wantNN},
+		{"MatMulInto", MatMulInto(New(m, n), a, b), wantNN},
+		{"MatMulAcc", MatMulAcc(base.Clone(), a, b), addNaive(wantNN)},
+		{"MatMulTransB", MatMulTransB(a, bt), wantNT},
+		{"MatMulTransBInto", MatMulTransBInto(New(m, n), a, bt), wantNT},
+		{"MatMulTransBAcc", MatMulTransBAcc(base.Clone(), a, bt), addNaive(wantNT)},
+		{"MatMulTransA", MatMulTransA(at, b), wantTN},
+		{"MatMulTransAInto", MatMulTransAInto(New(m, n), at, b), wantTN},
+		{"MatMulTransAAcc", MatMulTransAAcc(base.Clone(), at, b), addNaive(wantTN)},
+	}
+	for _, v := range variants {
+		for i := range v.want.Data {
+			if d := math.Abs(v.got.Data[i] - v.want.Data[i]); d > tol {
+				t.Fatalf("%s at (%d,%d,%d): element %d is %g, want %g (|Δ|=%g > %g)",
+					v.name, m, k, n, i, v.got.Data[i], v.want.Data[i], d, tol)
+			}
+		}
+	}
+}
+
+// TestGemmExhaustiveTiny sweeps every m,n ∈ {1,…,17} — all the partial
+// micro-tile patterns of the 4×8 kernel — at reduction depths on both sides
+// of the packing unroll, for all nine variants on the serial path.
+func TestGemmExhaustiveTiny(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(11))
+	for m := 1; m <= 17; m++ {
+		for n := 1; n <= 17; n++ {
+			for _, k := range []int{1, 2, 5, 16, 17} {
+				checkAllVariantsAgainstNaive(t, rng, m, k, n)
+			}
+		}
+	}
+}
+
+// TestGemmBlockBoundaries hits shapes that straddle the cache-blocking
+// boundaries: k crossing KC=256 (two packed panel iterations, accumulation
+// across panels), m crossing MC=128, and n crossing NC=2048.
+func TestGemmBlockBoundaries(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(12))
+	shapes := [][3]int{
+		{3, 255, 5}, {3, 256, 5}, {3, 257, 5}, {2, 513, 3},
+		{127, 9, 4}, {128, 9, 4}, {129, 9, 4}, {260, 7, 3},
+		{2, 3, 2047}, {1, 2, 2048}, {2, 3, 2049},
+		{130, 258, 11},
+	}
+	for _, s := range shapes {
+		checkAllVariantsAgainstNaive(t, rng, s[0], s[1], s[2])
+	}
+}
+
+// TestGemmRandomShapes fuzzes shapes up to a few hundred in each dimension
+// (bounded product so the naive reference stays fast), serial path.
+func TestGemmRandomShapes(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		m := 1 + rng.Intn(300)
+		k := 1 + rng.Intn(300)
+		n := 1 + rng.Intn(300)
+		for m*k*n > 2_000_000 {
+			m, k, n = (m+1)/2, (k+1)/2, (n+1)/2
+		}
+		checkAllVariantsAgainstNaive(t, rng, m, k, n)
+	}
+}
+
+// TestGemmParallelPath forces multi-worker dispatch (output large enough to
+// pass parallelThreshold) and verifies every variant still matches the
+// reference — macro-block ranges must tile [0,m) exactly with no overlap.
+func TestGemmParallelPath(t *testing.T) {
+	prev := SetKernelParallelism(4)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(14))
+	// 137×211 output = 28 907 elements ≥ parallelThreshold; 137 is not a
+	// multiple of any tile or chunk size.
+	checkAllVariantsAgainstNaive(t, rng, 137, 53, 211)
+	checkAllVariantsAgainstNaive(t, rng, 160, 300, 160)
+}
+
+// TestGemmScratchReuse pins the zero-allocation property of the serial
+// kernel path: after one warm-up call per shape, the packing buffers come
+// from the free list and nothing escapes, across all nine variants and
+// across alternating shapes (shrinking reuses, it never reallocates).
+func TestGemmScratchReuse(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(15))
+
+	a, b := RandNormal(rng, 1, 48, 96), RandNormal(rng, 1, 96, 24)
+	at, bt := RandNormal(rng, 1, 96, 48), RandNormal(rng, 1, 24, 96)
+	out := New(48, 24)
+	runs := []struct {
+		name string
+		fn   func()
+	}{
+		{"MatMulInto", func() { MatMulInto(out, a, b) }},
+		{"MatMulAcc", func() { MatMulAcc(out, a, b) }},
+		{"MatMulTransBInto", func() { MatMulTransBInto(out, a, bt) }},
+		{"MatMulTransBAcc", func() { MatMulTransBAcc(out, a, bt) }},
+		{"MatMulTransAInto", func() { MatMulTransAInto(out, at, b) }},
+		{"MatMulTransAAcc", func() { MatMulTransAAcc(out, at, b) }},
+	}
+	for _, r := range runs {
+		r.fn() // warm the free-list scratch for this shape
+		if allocs := testing.AllocsPerRun(20, r.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op on the serial path, want 0", r.name, allocs)
+		}
+	}
+
+	// Alternating shapes: the second shape is smaller in every packed
+	// dimension, so the warm buffers must be resliced, not reallocated.
+	small := New(8, 8)
+	sa, sb := RandNormal(rng, 1, 8, 16), RandNormal(rng, 1, 16, 8)
+	alternate := func() {
+		MatMulInto(out, a, b)
+		MatMulInto(small, sa, sb)
+	}
+	alternate()
+	if allocs := testing.AllocsPerRun(20, alternate); allocs != 0 {
+		t.Errorf("alternating shapes: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestGemmNoZeroSkip documents a semantic fix over the old naive kernel,
+// which skipped a-elements equal to zero and therefore failed to propagate
+// NaN/Inf from b: 0·NaN must be NaN in the product reduction.
+func TestGemmNoZeroSkip(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	a := FromSlice([]float64{0, 1}, 1, 2)
+	b := FromSlice([]float64{math.NaN(), 2}, 2, 1)
+	if got := MatMul(a, b).Data[0]; !math.IsNaN(got) {
+		t.Errorf("MatMul with 0·NaN term = %g, want NaN", got)
+	}
+}
+
+// TestGemmScalarKernelMatchesSIMD runs the pure-Go scalar micro-kernels
+// against the dispatched path (assembly where available), so the fallback
+// used on other architectures is exercised on this one too.
+func TestGemmScalarKernelMatchesSIMD(t *testing.T) {
+	prev := SetKernelParallelism(1)
+	defer SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(16))
+
+	check := func(t *testing.T, m, k, n int) {
+		t.Helper()
+		checkAllVariantsAgainstNaive(t, rng, m, k, n)
+	}
+	run := func(name string, avx2, fma bool) {
+		t.Run(name, func(t *testing.T) {
+			if avx2 && !gemmUseAVX2 {
+				t.Skip("AVX2 kernel not available on this machine")
+			}
+			prevAVX2, prevFMA := gemmUseAVX2, gemmUseFMA
+			gemmUseAVX2, gemmUseFMA = avx2, fma
+			defer func() { gemmUseAVX2, gemmUseFMA = prevAVX2, prevFMA }()
+			for _, s := range [][3]int{{1, 1, 1}, {5, 9, 13}, {17, 31, 7}, {64, 128, 64}, {33, 257, 19}} {
+				check(t, s[0], s[1], s[2])
+			}
+		})
+	}
+	run("scalar-fma", false, true)
+	run("scalar-muladd", false, false)
+	run("avx2", true, false)
+}
+
+// BenchmarkGemmSizes tracks the blocked kernel across representative shapes
+// (the repo's dense forward/backward, conv-lowered products, and a large
+// square); run with -benchmem to confirm the 0 B/op steady state.
+func BenchmarkGemmSizes(b *testing.B) {
+	prevPar := SetKernelParallelism(1)
+	defer SetKernelParallelism(prevPar)
+	rng := rand.New(rand.NewSource(17))
+	for _, s := range [][3]int{{32, 64, 64}, {64, 128, 64}, {3136, 9, 8}, {256, 256, 256}} {
+		m, k, n := s[0], s[1], s[2]
+		a := RandNormal(rng, 1, m, k)
+		x := RandNormal(rng, 1, k, n)
+		out := New(m, n)
+		b.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, a, x)
+			}
+		})
+	}
+}

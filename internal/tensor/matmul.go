@@ -7,6 +7,11 @@ import (
 	"sync/atomic"
 )
 
+// The nine MatMul entry points below (plain/Into/Acc × NN/NT/TN) are thin
+// shape-checking wrappers over the packed, cache-blocked GEMM core in
+// gemm.go. The transpose variants are folded into the core's packing step,
+// so every variant shares the same register-tiled micro-kernel.
+
 // parallelThreshold is the minimum number of output elements before a matmul
 // kernel fans work out to multiple goroutines; below it, the goroutine
 // overhead outweighs the parallelism.
@@ -39,11 +44,11 @@ func KernelParallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// rowWorkers decides how many goroutines a kernel over m output rows and
-// `work` total output elements should use; 1 means serial. The serial case
-// is handled inline at each kernel's call site — not inside a dispatcher
-// taking a closure — so the steady-state small-kernel path allocates
-// nothing.
+// rowWorkers decides how many goroutines a kernel over m independent row
+// units and `work` total output elements should use; 1 means serial. The
+// serial case is handled inline at each kernel's call site — not inside a
+// dispatcher taking a closure — so the steady-state small-kernel path
+// allocates nothing.
 func rowWorkers(m, work int) int {
 	workers := KernelParallelism()
 	if work < parallelThreshold || workers <= 1 || m < 2 {
@@ -56,31 +61,34 @@ func rowWorkers(m, work int) int {
 }
 
 // parallelRows splits [0,m) into contiguous chunks across workers
-// goroutines. Callers must have decided workers > 1 via rowWorkers.
-func parallelRows(workers, m int, fn func(lo, hi int)) {
+// goroutines, with chunk boundaries rounded up to a multiple of align (≥1).
+// The final chunk runs on the calling goroutine, so a call with W workers
+// spawns W−1 goroutines instead of spawning W and immediately blocking on
+// the WaitGroup. Callers must have decided workers > 1 via rowWorkers.
+func parallelRows(workers, m, align int, fn func(lo, hi int)) {
 	chunk := (m + workers - 1) / workers
+	chunk = (chunk + align - 1) / align * align
 	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
+	lo := 0
+	for ; lo+chunk < m; lo += chunk {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
 			fn(lo, hi)
-		}(lo, hi)
+		}(lo, lo+chunk)
 	}
+	fn(lo, m)
 	wg.Wait()
 }
 
 // MatMul returns a×b for rank-2 tensors with inner dimensions matching:
-// (m×k)·(k×n) → (m×n). Rows of the output are computed in parallel, within
-// the kernel-parallelism budget, when the problem is large enough.
+// (m×k)·(k×n) → (m×n). Macro-blocks of output rows are computed in
+// parallel, within the kernel-parallelism budget, when the problem is large
+// enough.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := mustMulShapes("MatMul", a, b)
 	out := New(m, n)
-	matMulAcc(out, a, b, m, k, n)
+	gemm(out, a, b, m, k, n, false, false)
 	return out
 }
 
@@ -90,7 +98,7 @@ func MatMulInto(out, a, b *Tensor) *Tensor {
 	m, k, n := mustMulShapes("MatMulInto", a, b)
 	mustOut("MatMulInto", out, a, b, m, n)
 	out.Zero()
-	matMulAcc(out, a, b, m, k, n)
+	gemm(out, a, b, m, k, n, false, false)
 	return out
 }
 
@@ -99,34 +107,8 @@ func MatMulInto(out, a, b *Tensor) *Tensor {
 func MatMulAcc(out, a, b *Tensor) *Tensor {
 	m, k, n := mustMulShapes("MatMulAcc", a, b)
 	mustOut("MatMulAcc", out, a, b, m, n)
-	matMulAcc(out, a, b, m, k, n)
+	gemm(out, a, b, m, k, n, false, false)
 	return out
-}
-
-// matMulAcc accumulates out += a·b with the classic ikj loop order, which
-// keeps the inner loop streaming over contiguous rows of b and out.
-func matMulAcc(out, a, b *Tensor, m, k, n int) {
-	if w := rowWorkers(m, m*n); w == 1 {
-		matMulAccRange(out, a, b, k, n, 0, m)
-	} else {
-		parallelRows(w, m, func(lo, hi int) { matMulAccRange(out, a, b, k, n, lo, hi) })
-	}
-}
-
-func matMulAccRange(out, a, b *Tensor, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for p, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 // MatMulTransB returns a×bᵀ: (m×k)·(n×k)ᵀ → (m×n). This is the natural
@@ -135,7 +117,7 @@ func matMulAccRange(out, a, b *Tensor, k, n, lo, hi int) {
 func MatMulTransB(a, b *Tensor) *Tensor {
 	m, k, n := mustTransBShapes("MatMulTransB", a, b)
 	out := New(m, n)
-	matMulTransB(out, a, b, m, k, n, false)
+	gemm(out, a, b, m, k, n, false, true)
 	return out
 }
 
@@ -144,7 +126,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 func MatMulTransBInto(out, a, b *Tensor) *Tensor {
 	m, k, n := mustTransBShapes("MatMulTransBInto", a, b)
 	mustOut("MatMulTransBInto", out, a, b, m, n)
-	matMulTransB(out, a, b, m, k, n, false)
+	out.Zero()
+	gemm(out, a, b, m, k, n, false, true)
 	return out
 }
 
@@ -153,35 +136,8 @@ func MatMulTransBInto(out, a, b *Tensor) *Tensor {
 func MatMulTransBAcc(out, a, b *Tensor) *Tensor {
 	m, k, n := mustTransBShapes("MatMulTransBAcc", a, b)
 	mustOut("MatMulTransBAcc", out, a, b, m, n)
-	matMulTransB(out, a, b, m, k, n, true)
+	gemm(out, a, b, m, k, n, false, true)
 	return out
-}
-
-func matMulTransB(out, a, b *Tensor, m, k, n int, acc bool) {
-	if w := rowWorkers(m, m*n); w == 1 {
-		matMulTransBRange(out, a, b, k, n, acc, 0, m)
-	} else {
-		parallelRows(w, m, func(lo, hi int) { matMulTransBRange(out, a, b, k, n, acc, lo, hi) })
-	}
-}
-
-func matMulTransBRange(out, a, b *Tensor, k, n int, acc bool, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			if acc {
-				orow[j] += s
-			} else {
-				orow[j] = s
-			}
-		}
-	}
 }
 
 // MatMulTransA returns aᵀ×b: (k×m)ᵀ·(k×n) → (m×n). This is the natural
@@ -189,7 +145,7 @@ func matMulTransBRange(out, a, b *Tensor, k, n int, acc bool, lo, hi int) {
 func MatMulTransA(a, b *Tensor) *Tensor {
 	k, m, n := mustTransAShapes("MatMulTransA", a, b)
 	out := New(m, n)
-	matMulTransAAcc(out, a, b, k, m, n)
+	gemm(out, a, b, m, k, n, true, false)
 	return out
 }
 
@@ -199,7 +155,7 @@ func MatMulTransAInto(out, a, b *Tensor) *Tensor {
 	k, m, n := mustTransAShapes("MatMulTransAInto", a, b)
 	mustOut("MatMulTransAInto", out, a, b, m, n)
 	out.Zero()
-	matMulTransAAcc(out, a, b, k, m, n)
+	gemm(out, a, b, m, k, n, true, false)
 	return out
 }
 
@@ -210,34 +166,8 @@ func MatMulTransAInto(out, a, b *Tensor) *Tensor {
 func MatMulTransAAcc(out, a, b *Tensor) *Tensor {
 	k, m, n := mustTransAShapes("MatMulTransAAcc", a, b)
 	mustOut("MatMulTransAAcc", out, a, b, m, n)
-	matMulTransAAcc(out, a, b, k, m, n)
+	gemm(out, a, b, m, k, n, true, false)
 	return out
-}
-
-// matMulTransAAcc accumulates over k with the output row indexed by a's
-// column, parallelizing over output rows to keep writes disjoint.
-func matMulTransAAcc(out, a, b *Tensor, k, m, n int) {
-	if w := rowWorkers(m, m*n); w == 1 {
-		matMulTransARange(out, a, b, k, m, n, 0, m)
-	} else {
-		parallelRows(w, m, func(lo, hi int) { matMulTransARange(out, a, b, k, m, n, lo, hi) })
-	}
-}
-
-func matMulTransARange(out, a, b *Tensor, k, m, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		orow := out.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := a.Data[p*m+i]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
 }
 
 func mustMulShapes(op string, a, b *Tensor) (m, k, n int) {

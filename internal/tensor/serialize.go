@@ -44,6 +44,7 @@ func Decode(r io.Reader) (*Tensor, error) {
 	if rank <= 0 || rank > maxRank {
 		return nil, fmt.Errorf("tensor: decode: invalid rank %d", rank)
 	}
+	const maxElems = 1 << 28 // 2 GiB of float64; anything larger is corrupt
 	shape := make([]int, rank)
 	size := 1
 	for i := range shape {
@@ -51,14 +52,15 @@ func Decode(r io.Reader) (*Tensor, error) {
 			return nil, fmt.Errorf("tensor: decode dim: %w", err)
 		}
 		shape[i] = int(binary.LittleEndian.Uint32(buf[:]))
-		if shape[i] <= 0 {
+		if shape[i] <= 0 || shape[i] > maxElems {
 			return nil, fmt.Errorf("tensor: decode: invalid dim %d", shape[i])
 		}
+		// Checking the running product per dim keeps size ≤ maxElems·maxElems,
+		// so the multiplication can never wrap a 64-bit int.
 		size *= shape[i]
-	}
-	const maxElems = 1 << 28 // 2 GiB of float64; anything larger is corrupt
-	if size > maxElems {
-		return nil, fmt.Errorf("tensor: decode: implausible size %d", size)
+		if size > maxElems {
+			return nil, fmt.Errorf("tensor: decode: implausible size %d", size)
+		}
 	}
 	data, err := DecodeFloats(r, size)
 	if err != nil {
@@ -79,15 +81,22 @@ func EncodeFloats(w io.Writer, v []float64) error {
 	return nil
 }
 
-// DecodeFloats reads exactly n float64 values from r.
+// DecodeFloats reads exactly n float64 values from r. The output grows in
+// bounded chunks as bytes actually arrive, so a forged length prefix on a
+// truncated stream costs at most one chunk of memory before the read fails —
+// never the full 8n bytes the header claims.
 func DecodeFloats(r io.Reader, n int) ([]float64, error) {
-	buf := make([]byte, 8*n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("tensor: decode floats: %w", err)
-	}
-	v := make([]float64, n)
-	for i := range v {
-		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	const chunkElems = 8 << 10 // 64 KiB reads
+	v := make([]float64, 0, min(n, chunkElems))
+	buf := make([]byte, 8*min(n, chunkElems))
+	for len(v) < n {
+		c := min(n-len(v), chunkElems)
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
+			return nil, fmt.Errorf("tensor: decode floats: %w", err)
+		}
+		for i := 0; i < c; i++ {
+			v = append(v, math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
 	}
 	return v, nil
 }
