@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -36,6 +37,8 @@ func main() {
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		modelSeed  = flag.Int64("modelseed", 7, "initial-model seed (must match server)")
 		dataSeed   = flag.Int64("dataseed", 1, "data-generation seed (must match other clients)")
+		retries    = flag.Int("retries", 0, "re-dial and rejoin this many times after a connection failure")
+		backoff    = flag.Duration("backoff", 2*time.Second, "wait between rejoin attempts")
 	)
 	flag.Parse()
 	if *shard < 0 || *shard >= *of {
@@ -80,30 +83,41 @@ func main() {
 	mine := pool.Subset(parts[*shard])
 	fmt.Printf("shard %d/%d: %d samples, %d classes\n", *shard, *of, mine.Len(), mine.Classes)
 
-	conn, err := transport.Dial(*addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flclient:", err)
-		os.Exit(1)
-	}
-	defer conn.Close()
-
 	cfg := transport.ClientConfig{
 		Builder:      builder,
 		ModelSeed:    *modelSeed,
 		Seed:         int64(*shard + 1),
+		ClientID:     *shard,
 		LocalSteps:   *e,
 		BatchSize:    *b,
 		LR:           opt.ConstLR(*lr),
 		NewOptimizer: newOpt,
 		Lambda:       *lambda,
 	}
-	final, err := RunAndReport(conn, mine, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "flclient:", err)
-		os.Exit(1)
+
+	// Dial-and-train with a rejoin loop: on a mid-session connection
+	// failure the client re-dials, sends a fresh join carrying its slot
+	// hint, and the server re-admits it at the next round boundary.
+	for attempt := 0; ; attempt++ {
+		conn, err := transport.Dial(*addr)
+		if err == nil {
+			var final []float64
+			final, err = RunAndReport(conn, mine, cfg)
+			if err == nil {
+				fmt.Printf("done: received final model (%d params); sent %s, received %s\n",
+					len(final), fmtBytes(conn.BytesSent()), fmtBytes(conn.BytesReceived()))
+				conn.Close()
+				return
+			}
+			conn.Close()
+		}
+		if attempt >= *retries {
+			fmt.Fprintln(os.Stderr, "flclient:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flclient: %v — rejoining in %s (%d/%d)\n", err, *backoff, attempt+1, *retries)
+		time.Sleep(*backoff)
 	}
-	fmt.Printf("done: received final model (%d params); sent %s, received %s\n",
-		len(final), fmtBytes(conn.BytesSent()), fmtBytes(conn.BytesReceived()))
 }
 
 // RunAndReport wraps transport.RunClient (split out for clarity).

@@ -10,12 +10,21 @@
 //
 // The model architecture is fixed by (-dataset, -featdim, -modelseed) and
 // must match the clients'.
+//
+// Fault tolerance: with -deadline set, a client that hangs or crashes is
+// evicted at the deadline and the round completes over the survivors;
+// clients reconnecting later (flclient -retries) are re-admitted at the
+// next round boundary. -min-clients sets the quorum below which a round is
+// retried, and -checkpoint makes the server persist round checkpoints so a
+// killed session can be resumed with -resume.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -34,6 +43,14 @@ func main() {
 		testN      = flag.Int("test", 500, "server-side test samples for final evaluation")
 		sr         = flag.Float64("sr", 1.0, "sample ratio per round (partial participation)")
 		seed       = flag.Int64("seed", 1, "cohort-sampling seed")
+
+		deadline   = flag.Duration("deadline", 30*time.Second, "per-phase deadline; clients that miss it are evicted (0 disables)")
+		minClients = flag.Int("min-clients", 1, "quorum: rounds with fewer valid updates are retried")
+		maxRetries = flag.Int("max-retries", 2, "consecutive failed attempts of one round before aborting")
+		maxStale   = flag.Int("max-stale", 0, "exclude δ rows older than this many rounds from targets (0 = keep forever)")
+		ckptPath   = flag.String("checkpoint", "", "write atomic round checkpoints to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint period in rounds")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 	)
 	flag.Parse()
 
@@ -63,14 +80,51 @@ func main() {
 		fmt.Printf("client %d connected\n", i)
 	}
 
+	// Late connections are rejoin candidates: keep accepting in the
+	// background and hand them to the server, which re-admits them into
+	// evicted slots at round boundaries. The goroutine dies with the
+	// process; closing the listener on return unblocks Accept.
+	rejoin := make(chan transport.Conn, *clients)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				close(rejoin)
+				return
+			}
+			fmt.Println("late connection accepted (rejoin candidate)")
+			rejoin <- c
+		}
+	}()
+
 	cfg := transport.ServerConfig{
-		Algorithm:     transport.Algorithm(*algo),
-		Rounds:        *rounds,
-		InitialParams: net.GetFlat(),
-		FeatureDim:    net.FeatureDim,
-		SampleRatio:   *sr,
-		Seed:          *seed,
+		Algorithm:       transport.Algorithm(*algo),
+		Rounds:          *rounds,
+		InitialParams:   net.GetFlat(),
+		FeatureDim:      net.FeatureDim,
+		SampleRatio:     *sr,
+		Seed:            *seed,
+		RoundDeadline:   *deadline,
+		MinClients:      *minClients,
+		MaxRoundRetries: *maxRetries,
+		MaxStaleness:    *maxStale,
+		Rejoin:          rejoin,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("[fault] "+format+"\n", args...)
+		},
 	}
+	if *resume && *ckptPath != "" {
+		if ck, err := transport.LoadCheckpoint(*ckptPath); err == nil {
+			cfg.Resume = ck
+			fmt.Printf("resuming from %s at round %d\n", *ckptPath, ck.Round)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "flserver: resume:", err)
+			os.Exit(1)
+		}
+	}
+
 	res, err := transport.Serve(cfg, conns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserver:", err)
@@ -78,6 +132,13 @@ func main() {
 	}
 	for i, loss := range res.RoundLosses {
 		fmt.Printf("round %3d  loss %.4f\n", i+1, loss)
+	}
+	if len(res.Evictions) > 0 || res.Rejoins > 0 || res.RetriedRounds > 0 {
+		fmt.Printf("faults: %d evictions, %d rejoins, %d retried round attempts\n",
+			len(res.Evictions), res.Rejoins, res.RetriedRounds)
+		for _, ev := range res.Evictions {
+			fmt.Printf("  evicted client %d (round %d): %s\n", ev.Client, ev.Round, ev.Reason)
+		}
 	}
 
 	test := testSetFor(*dataset, *testN)

@@ -127,6 +127,46 @@ func TestDeltaTable(t *testing.T) {
 	}
 }
 
+// With MaxStale set, rows whose age exceeds the bound drop out of the
+// δ̄^{-k} target, and the mean renormalizes over the fresh contributors.
+func TestDeltaTableStalenessFallback(t *testing.T) {
+	tab := NewDeltaTable(3, 2)
+	tab.MaxStale = 2
+	tab.Set(0, []float64{1, 0})
+	tab.Set(1, []float64{3, 0})
+	tab.Set(2, []float64{5, 6})
+
+	// Fresh table: identical to the unbounded behavior.
+	if m := tab.MeanExcluding(2); m[0] != 2 || m[1] != 0 {
+		t.Fatalf("fresh MeanExcluding(2) = %v", m)
+	}
+
+	// Client 1 goes silent for 3 rounds; clients 0 and 2 keep refreshing.
+	for i := 0; i < 3; i++ {
+		tab.Tick()
+		tab.Set(0, []float64{1, 0})
+		tab.Set(2, []float64{5, 6})
+	}
+	if tab.Age(1) != 3 || tab.Age(0) != 0 {
+		t.Fatalf("ages = %d, %d; want 3, 0", tab.Age(1), tab.Age(0))
+	}
+	// Row 1 (age 3 > MaxStale 2) is excluded: target for 2 is row 0 alone.
+	if m := tab.MeanExcluding(2); m[0] != 1 || m[1] != 0 {
+		t.Fatalf("stale-aware MeanExcluding(2) = %v, want [1 0]", m)
+	}
+	// A rejoining client's Set resets its age and restores it as a contributor.
+	tab.Set(1, []float64{3, 0})
+	if m := tab.MeanExcluding(2); m[0] != 2 || m[1] != 0 {
+		t.Fatalf("post-rejoin MeanExcluding(2) = %v, want [2 0]", m)
+	}
+	// Degenerate case: everyone else stale → zero target, not NaN.
+	tab.SetAge(0, 9)
+	tab.SetAge(1, 9)
+	if m := tab.MeanExcluding(2); m[0] != 0 || m[1] != 0 {
+		t.Fatalf("all-stale MeanExcluding(2) = %v, want zeros", m)
+	}
+}
+
 // Property: r̃_k (tight form) lower-bounds r_k (pairwise form), with
 // equality when all other maps coincide — the Sec. IV-C claim.
 func TestQuickTightObjectiveLowerBound(t *testing.T) {

@@ -136,31 +136,67 @@ func RegFeatureGradInto(grad *tensor.Tensor, mean []float64, feat *tensor.Tensor
 
 // DeltaTable is the server-side table of client maps
 // δ = (δ¹, δ², …, δᴺ) that rFedAvg broadcasts (line 13 of Algorithm 1).
+//
+// The table tracks per-row staleness: Age(k) counts how many Tick calls
+// (rounds) have passed since row k was last Set. A crashed or evicted
+// client's row simply ages until the client rejoins and refreshes it —
+// the δ-staleness fallback that lets fault-tolerant rounds keep training
+// with the last known map. Setting MaxStale bounds how long such a stale
+// row keeps influencing the regularization target.
 type DeltaTable struct {
 	N, Dim int
-	rows   [][]float64
+	// MaxStale, when > 0, excludes rows with Age > MaxStale from
+	// MeanExcluding: a map that has not been refreshed for that many
+	// rounds stops pulling other clients toward it. 0 keeps rows forever
+	// (the paper's behavior under full participation).
+	MaxStale int
+	rows     [][]float64
+	ages     []int
 }
 
 // NewDeltaTable creates an all-zero table for n clients with d-dimensional
 // maps (the server's initialization of δ_0).
 func NewDeltaTable(n, d int) *DeltaTable {
-	t := &DeltaTable{N: n, Dim: d, rows: make([][]float64, n)}
+	t := &DeltaTable{N: n, Dim: d, rows: make([][]float64, n), ages: make([]int, n)}
 	for i := range t.rows {
 		t.rows[i] = make([]float64, d)
 	}
 	return t
 }
 
-// Set replaces client k's map.
+// Set replaces client k's map and resets its staleness age.
 func (t *DeltaTable) Set(k int, delta []float64) {
 	if len(delta) != t.Dim {
 		panic(fmt.Sprintf("core: delta dim %d vs table dim %d", len(delta), t.Dim))
 	}
 	copy(t.rows[k], delta)
+	t.ages[k] = 0
 }
 
 // Get returns client k's map (read-only view).
 func (t *DeltaTable) Get(k int) []float64 { return t.rows[k] }
+
+// Age returns how many rounds ago row k was last Set (0 = fresh this
+// round; rows never Set report the rounds since table creation).
+func (t *DeltaTable) Age(k int) int { return t.ages[k] }
+
+// SetAge restores row k's staleness age (checkpoint restore).
+func (t *DeltaTable) SetAge(k, age int) { t.ages[k] = age }
+
+// Tick advances every row's age by one round. Call once per completed
+// round, after the fresh maps were Set (Set zeroes the age, so freshly
+// refreshed rows end the round at age 1, missing rows keep growing).
+func (t *DeltaTable) Tick() {
+	for k := range t.ages {
+		t.ages[k]++
+	}
+}
+
+// stale reports whether row k should be excluded from regularization
+// targets because it outlived the staleness bound.
+func (t *DeltaTable) stale(k int) bool {
+	return t.MaxStale > 0 && t.ages[k] > t.MaxStale
+}
 
 // MeanExcluding returns (1/(N-1))·Σ_{j≠k} δ^j, the delayed target for
 // client k. With the pairwise regularizer r_k = (1/(N-1))·Σ_j ‖δ^k - δ^j‖²,
@@ -172,7 +208,10 @@ func (t *DeltaTable) MeanExcluding(k int) []float64 {
 }
 
 // MeanExcludingInto is MeanExcluding writing into dst (length Dim) and
-// returning it, so per-step callers can reuse one target buffer.
+// returning it, so per-step callers can reuse one target buffer. Rows past
+// the MaxStale bound are treated as missing: they contribute neither to
+// the sum nor to the denominator, so long-evicted clients stop steering
+// the survivors while their slot (and last map) is retained for rejoin.
 func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
 	if len(dst) != t.Dim {
 		panic(fmt.Sprintf("core: mean dst dim %d vs table dim %d", len(dst), t.Dim))
@@ -183,15 +222,20 @@ func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
 	if t.N < 2 {
 		return dst
 	}
+	contributors := 0
 	for j, row := range t.rows {
-		if j == k {
+		if j == k || t.stale(j) {
 			continue
 		}
+		contributors++
 		for i, v := range row {
 			dst[i] += v
 		}
 	}
-	inv := 1 / float64(t.N-1)
+	if contributors == 0 {
+		return dst
+	}
+	inv := 1 / float64(contributors)
 	for i := range dst {
 		dst[i] *= inv
 	}

@@ -91,6 +91,7 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	for _, out := range outs {
 		a.table.Set(out.Client.ID, out.Aux)
 	}
+	a.table.Tick()
 
 	p := int64(len(sampled))
 	n := len(f.Clients)

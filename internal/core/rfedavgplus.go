@@ -28,6 +28,11 @@ type RFedAvgPlus struct {
 	// NoiseDelta, if non-nil, perturbs a client's map in place before it is
 	// sent to the server (privacy evaluation, Fig. 12).
 	NoiseDelta func(delta []float64, rng *rand.Rand)
+	// MaxStale bounds δ staleness under partial participation: a client
+	// unsampled (or, in the transport deployment, evicted) for more than
+	// MaxStale rounds has its row excluded from the δ̄^{-k} targets until
+	// it is refreshed. 0 keeps every row forever (Algorithm 2 verbatim).
+	MaxStale int
 
 	f      *fl.Federation
 	global []float64
@@ -48,6 +53,7 @@ func (a *RFedAvgPlus) Setup(f *fl.Federation) {
 	a.global = f.InitialParams()
 	n, d := len(f.Clients), f.FeatureDim()
 	a.table = NewDeltaTable(n, d)
+	a.table.MaxStale = a.MaxStale
 	a.avgMinus = make([][]float64, n)
 	for k := range a.avgMinus {
 		a.avgMinus[k] = make([]float64, d)
@@ -96,6 +102,9 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	for _, out := range deltaOuts {
 		a.table.Set(out.Client.ID, out.Aux)
 	}
+	// Staleness accounting: unsampled clients' rows age; refreshed rows
+	// reset to age 1. Past MaxStale a row falls out of the targets below.
+	a.table.Tick()
 	// Lines 17–18: the server precomputes next round's per-client averages.
 	for k := range a.avgMinus {
 		a.table.MeanExcludingInto(a.avgMinus[k], k)

@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/tensor"
+)
+
+// A Checkpoint captures everything the server needs to resume a killed
+// session at a round boundary: the global model, the rFedAvg+ δ table with
+// its per-row staleness ages, the per-round loss history, and the index of
+// the next round to run. Float payloads reuse the tensor wire codec, so the
+// same bounded-allocation decoding guarantees apply to checkpoint files.
+type Checkpoint struct {
+	// Round is the next round index (i.e. the number of completed rounds).
+	Round int
+	// Global is the aggregated model at the end of round Round-1.
+	Global []float64
+	// DeltaRows is the δ table (nil for plain FedAvg sessions).
+	DeltaRows [][]float64
+	// DeltaAges[k] is how many rounds ago row k was last refreshed.
+	DeltaAges []int
+	// RoundLosses is the loss history of the completed rounds.
+	RoundLosses []float64
+}
+
+const (
+	ckptMagic   = 0x52464350 // "RFCP"
+	ckptVersion = 1
+	// ckptMaxCount bounds every length field read from disk so a corrupt
+	// header cannot force a huge allocation.
+	ckptMaxCount = 1 << 24
+)
+
+// Write writes the checkpoint to w.
+func (ck *Checkpoint) Write(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], ckptVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(ck.Round))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(ck.Global)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(ck.DeltaRows)))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(ck.RoundLosses)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: checkpoint header: %w", err)
+	}
+	if err := tensor.EncodeFloats(w, ck.Global); err != nil {
+		return err
+	}
+	if len(ck.DeltaRows) > 0 {
+		var dim [4]byte
+		binary.LittleEndian.PutUint32(dim[:], uint32(len(ck.DeltaRows[0])))
+		if _, err := w.Write(dim[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint δ dim: %w", err)
+		}
+		for k, row := range ck.DeltaRows {
+			if len(row) != len(ck.DeltaRows[0]) {
+				return fmt.Errorf("transport: checkpoint δ row %d has %d dims, want %d", k, len(row), len(ck.DeltaRows[0]))
+			}
+			if err := tensor.EncodeFloats(w, row); err != nil {
+				return err
+			}
+		}
+		ages := make([]byte, 4*len(ck.DeltaRows))
+		for k := range ck.DeltaRows {
+			age := 0
+			if k < len(ck.DeltaAges) {
+				age = ck.DeltaAges[k]
+			}
+			binary.LittleEndian.PutUint32(ages[4*k:], uint32(age))
+		}
+		if _, err := w.Write(ages); err != nil {
+			return fmt.Errorf("transport: checkpoint δ ages: %w", err)
+		}
+	}
+	return tensor.EncodeFloats(w, ck.RoundLosses)
+}
+
+// ReadCheckpoint parses a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != ckptMagic {
+		return nil, fmt.Errorf("transport: not a checkpoint (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != ckptVersion {
+		return nil, fmt.Errorf("transport: unsupported checkpoint version %d", v)
+	}
+	round := int(binary.LittleEndian.Uint32(hdr[8:]))
+	np := int(binary.LittleEndian.Uint32(hdr[12:]))
+	rows := int(binary.LittleEndian.Uint32(hdr[16:]))
+	nl := int(binary.LittleEndian.Uint32(hdr[20:]))
+	if round > ckptMaxCount || np > ckptMaxCount || rows > ckptMaxCount || nl > ckptMaxCount {
+		return nil, fmt.Errorf("transport: implausible checkpoint counts (round=%d params=%d rows=%d losses=%d)", round, np, rows, nl)
+	}
+	ck := &Checkpoint{Round: round}
+	var err error
+	if ck.Global, err = tensor.DecodeFloats(r, np); err != nil {
+		return nil, err
+	}
+	if rows > 0 {
+		var dimBuf [4]byte
+		if _, err := io.ReadFull(r, dimBuf[:]); err != nil {
+			return nil, fmt.Errorf("transport: checkpoint δ dim: %w", err)
+		}
+		dim := int(binary.LittleEndian.Uint32(dimBuf[:]))
+		if dim <= 0 || dim > ckptMaxCount {
+			return nil, fmt.Errorf("transport: implausible checkpoint δ dim %d", dim)
+		}
+		ck.DeltaRows = make([][]float64, rows)
+		for k := range ck.DeltaRows {
+			if ck.DeltaRows[k], err = tensor.DecodeFloats(r, dim); err != nil {
+				return nil, err
+			}
+		}
+		ages := make([]byte, 4*rows)
+		if _, err := io.ReadFull(r, ages); err != nil {
+			return nil, fmt.Errorf("transport: checkpoint δ ages: %w", err)
+		}
+		ck.DeltaAges = make([]int, rows)
+		for k := range ck.DeltaAges {
+			ck.DeltaAges[k] = int(binary.LittleEndian.Uint32(ages[4*k:]))
+		}
+	}
+	if ck.RoundLosses, err = tensor.DecodeFloats(r, nl); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint writes the checkpoint atomically: to a temp file in the
+// same directory, then rename, so a server killed mid-write never leaves a
+// truncated checkpoint behind.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("transport: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := ck.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("transport: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("transport: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("transport: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

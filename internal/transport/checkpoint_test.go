@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := &Checkpoint{
+		Round:  7,
+		Global: []float64{1, -2, math.Pi},
+		DeltaRows: [][]float64{
+			{0.5, 0.25},
+			{-1, 2},
+			{0, 0},
+		},
+		DeltaAges:   []int{1, 4, 9},
+		RoundLosses: []float64{2.5, 2.0, 1.5},
+	}
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != ck.Round {
+		t.Fatalf("round %d, want %d", got.Round, ck.Round)
+	}
+	for i, v := range ck.Global {
+		if got.Global[i] != v {
+			t.Fatal("global mismatch")
+		}
+	}
+	if len(got.DeltaRows) != 3 || got.DeltaRows[1][1] != 2 {
+		t.Fatalf("δ rows mismatch: %v", got.DeltaRows)
+	}
+	for k, age := range ck.DeltaAges {
+		if got.DeltaAges[k] != age {
+			t.Fatalf("δ ages mismatch: %v", got.DeltaAges)
+		}
+	}
+	if len(got.RoundLosses) != 3 || got.RoundLosses[2] != 1.5 {
+		t.Fatalf("losses mismatch: %v", got.RoundLosses)
+	}
+}
+
+func TestCheckpointFedAvgOmitsDelta(t *testing.T) {
+	ck := &Checkpoint{Round: 1, Global: []float64{1}, RoundLosses: []float64{0.5}}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DeltaRows != nil || got.DeltaAges != nil {
+		t.Fatal("fedavg checkpoint must not carry a δ table")
+	}
+}
+
+func TestCheckpointRejectsCorrupt(t *testing.T) {
+	// Wrong magic.
+	if _, err := ReadCheckpoint(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated payload.
+	ck := &Checkpoint{Round: 1, Global: []float64{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := ck.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadCheckpoint(bytes.NewReader(raw[:len(raw)-8])); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+	// Implausible count: forge a huge param count on the header.
+	forged := append([]byte(nil), raw...)
+	forged[12] = 0xFF
+	forged[13] = 0xFF
+	forged[14] = 0xFF
+	forged[15] = 0x7F
+	if _, err := ReadCheckpoint(bytes.NewReader(forged)); err == nil {
+		t.Fatal("forged count accepted")
+	}
+	// Missing file.
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

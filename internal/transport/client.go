@@ -18,6 +18,11 @@ type ClientConfig struct {
 	// flat layouts agree.
 	ModelSeed int64
 	Seed      int64
+	// ClientID is a slot hint carried in the join handshake. Fresh
+	// sessions assign slots positionally and ignore it; when rejoining a
+	// session this client was evicted from, the server re-admits it into
+	// this slot if that slot is free (else the lowest evicted one).
+	ClientID int
 
 	LocalSteps int // E
 	BatchSize  int // B
@@ -47,7 +52,7 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 	localOpt := cfg.NewOptimizer()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	if err := conn.Send(&Message{Type: MsgJoin, NumSamples: int64(shard.Len())}); err != nil {
+	if err := conn.Send(&Message{Type: MsgJoin, ClientID: int32(cfg.ClientID), NumSamples: int64(shard.Len())}); err != nil {
 		return nil, err
 	}
 

@@ -50,6 +50,21 @@ type Message struct {
 	Delta      []float64
 }
 
+// Clone returns a deep copy of the message: the float payloads get their
+// own backing arrays. In-process pipes deliver clones so that no two
+// endpoints ever share a Params/Delta slice — the wire conns get the same
+// isolation for free from encode/decode.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Params != nil {
+		c.Params = append([]float64(nil), m.Params...)
+	}
+	if m.Delta != nil {
+		c.Delta = append([]float64(nil), m.Delta...)
+	}
+	return &c
+}
+
 const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 4 + 4
 
 // EncodedSize returns the exact number of bytes WriteMessage produces.

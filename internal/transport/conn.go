@@ -117,10 +117,13 @@ func (c *inprocConn) Send(m *Message) error {
 		return fmt.Errorf("transport: send on closed pipe")
 	default:
 	}
+	// Deliver a deep copy: a TCP conn naturally isolates the two endpoints
+	// through encode/decode, and pipes must match, or every pipe client of
+	// one broadcast would share the server's backing slice by reference.
 	select {
 	case <-c.closed:
 		return fmt.Errorf("transport: send on closed pipe")
-	case c.out <- m:
+	case c.out <- m.Clone():
 		c.sent.Add(int64(m.EncodedSize()))
 		return nil
 	}

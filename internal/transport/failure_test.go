@@ -10,7 +10,8 @@ import (
 )
 
 // TestServeClientDiesMidRound injects a client failure after the join: the
-// server must surface an error rather than hang or aggregate garbage.
+// server must evict the dead client, renormalize the aggregation weights
+// over the survivor, and finish every round — not abort the session.
 func TestServeClientDiesMidRound(t *testing.T) {
 	fx := newFixture(t, 2)
 	net := fx.builder(fx.ccfg.ModelSeed)
@@ -40,12 +41,18 @@ func TestServeClientDiesMidRound(t *testing.T) {
 		c1.Close()
 	}()
 
-	_, err := Serve(scfg, []Conn{s0, s1})
-	if err == nil {
-		t.Fatal("server must fail when a client dies mid-round")
+	res, err := Serve(scfg, []Conn{s0, s1})
+	if err != nil {
+		t.Fatalf("server must survive a client dying mid-round: %v", err)
 	}
-	if !strings.Contains(err.Error(), "client 1") {
-		t.Fatalf("error should identify the failed client: %v", err)
+	if len(res.RoundLosses) != 3 {
+		t.Fatalf("completed %d rounds, want 3", len(res.RoundLosses))
+	}
+	if len(res.Evictions) != 1 || res.Evictions[0].Client != 1 {
+		t.Fatalf("expected exactly client 1 evicted, got %+v", res.Evictions)
+	}
+	if res.Evictions[0].Round != 0 {
+		t.Fatalf("eviction should happen in round 0, got round %d", res.Evictions[0].Round)
 	}
 	s0.Close()
 	c0.Close()

@@ -1,0 +1,145 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultPlan is a seeded schedule of injected faults around a Conn. All
+// probabilities are per operation in [0, 1]; the zero value injects
+// nothing. The same (plan, seed) always produces the same fault sequence,
+// so chaos tests are reproducible.
+type FaultPlan struct {
+	Seed int64
+
+	// DropSendProb silently discards an outgoing message (it "succeeds"
+	// locally but never arrives) — the peer's deadline must catch it.
+	DropSendProb float64
+	// DelayProb sleeps a uniform duration in (MinDelay, MaxDelay] before
+	// the operation proceeds; applies to both directions. A MinDelay at or
+	// above the server's deadline makes the slow-client eviction
+	// deterministic in tests.
+	DelayProb float64
+	MinDelay  time.Duration
+	MaxDelay  time.Duration
+	// DuplicateProb sends an outgoing message twice.
+	DuplicateProb float64
+	// CorruptProb overwrites one element of an outgoing Params/Delta with
+	// NaN — the server-side finite-value validation must evict the sender.
+	CorruptProb float64
+	// DisconnectProb abruptly closes the connection instead of performing
+	// the operation (a crash). Subsequent operations fail.
+	DisconnectProb float64
+	// DisconnectAfterOps, if > 0, forces the crash deterministically after
+	// that many Send/Recv calls.
+	DisconnectAfterOps int
+}
+
+// FaultConn wraps a Conn with the injected-fault schedule of a FaultPlan.
+// It is safe for the one-writer/one-reader usage pattern of the protocol
+// and guards its RNG for -race runs.
+type FaultConn struct {
+	inner Conn
+	plan  FaultPlan
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	ops  int
+	dead bool
+}
+
+// NewFaultConn wraps inner with plan's fault schedule.
+func NewFaultConn(inner Conn, plan FaultPlan) *FaultConn {
+	return &FaultConn{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed*0x9E3779B9 + 1)),
+	}
+}
+
+// step rolls the shared per-operation faults (crash, delay) and reports
+// whether the connection is still alive. The returned rolls are drawn under
+// the lock so concurrent Send/Recv stay deterministic per direction count.
+func (c *FaultConn) step() (delay time.Duration, alive bool, roll func(p float64) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, false, nil
+	}
+	c.ops++
+	crashed := (c.plan.DisconnectAfterOps > 0 && c.ops > c.plan.DisconnectAfterOps) ||
+		(c.plan.DisconnectProb > 0 && c.rng.Float64() < c.plan.DisconnectProb)
+	if crashed {
+		c.dead = true
+		c.inner.Close()
+		return 0, false, nil
+	}
+	if c.plan.DelayProb > 0 && c.plan.MaxDelay > c.plan.MinDelay && c.rng.Float64() < c.plan.DelayProb {
+		delay = c.plan.MinDelay + time.Duration(1+c.rng.Int63n(int64(c.plan.MaxDelay-c.plan.MinDelay)))
+	}
+	return delay, true, func(p float64) bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return p > 0 && c.rng.Float64() < p
+	}
+}
+
+// Send applies the outgoing fault schedule, then forwards to the inner conn.
+func (c *FaultConn) Send(m *Message) error {
+	delay, alive, roll := c.step()
+	if !alive {
+		return fmt.Errorf("transport: fault injection: connection crashed")
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if roll(c.plan.DropSendProb) {
+		return nil // lost in flight: local success, nothing on the wire
+	}
+	if roll(c.plan.CorruptProb) {
+		m = m.Clone()
+		if len(m.Params) > 0 {
+			m.Params[len(m.Params)/2] = math.NaN()
+		} else if len(m.Delta) > 0 {
+			m.Delta[len(m.Delta)/2] = math.NaN()
+		} else {
+			m.Loss = math.Inf(1)
+		}
+	}
+	if err := c.inner.Send(m); err != nil {
+		return err
+	}
+	if roll(c.plan.DuplicateProb) {
+		return c.inner.Send(m)
+	}
+	return nil
+}
+
+// Recv applies the incoming fault schedule, then forwards to the inner conn.
+func (c *FaultConn) Recv() (*Message, error) {
+	delay, alive, _ := c.step()
+	if !alive {
+		return nil, fmt.Errorf("transport: fault injection: connection crashed")
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return c.inner.Recv()
+}
+
+// Close closes the inner connection and marks the wrapper dead.
+func (c *FaultConn) Close() error {
+	c.mu.Lock()
+	c.dead = true
+	c.mu.Unlock()
+	return c.inner.Close()
+}
+
+// BytesSent reports the inner connection's counter.
+func (c *FaultConn) BytesSent() int64 { return c.inner.BytesSent() }
+
+// BytesReceived reports the inner connection's counter.
+func (c *FaultConn) BytesReceived() int64 { return c.inner.BytesReceived() }

@@ -1,10 +1,12 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -32,19 +34,108 @@ type ServerConfig struct {
 	SampleRatio float64
 	// Seed drives cohort sampling.
 	Seed int64
+
+	// RoundDeadline bounds every protocol phase (join, assign+gather,
+	// δ sync, done). A client that has not answered when the deadline
+	// fires is evicted and the round completes over the survivors with
+	// renormalized aggregation weights. 0 disables deadlines (a hung
+	// client then blocks the session, the pre-fault-tolerance behavior).
+	RoundDeadline time.Duration
+	// MinClients is the quorum: a round that ends with fewer valid
+	// updates fails and is retried (the global model is kept unchanged).
+	// Values < 1 mean 1.
+	MinClients int
+	// MaxRoundRetries caps consecutive failed attempts of one round
+	// before the session aborts. 0 means 2.
+	MaxRoundRetries int
+	// MaxStaleness, when > 0, excludes δ rows not refreshed for more than
+	// that many rounds from the regularization targets (evicted clients'
+	// maps go stale instead of steering survivors forever).
+	MaxStaleness int
+	// Rejoin, if non-nil, delivers reconnecting clients. Each is expected
+	// to send MsgJoin; at the next round boundary it is re-admitted into
+	// a previously evicted slot (honoring the ClientID slot hint in its
+	// join when that slot is free) and receives the current global model
+	// with its first MsgAssign. Its δ row — kept stale since eviction —
+	// is refreshed at its next δ sync.
+	Rejoin <-chan Conn
+	// CheckpointPath, if non-empty, makes the server write an atomic
+	// round checkpoint (global params, δ table + ages, loss history,
+	// round index) every CheckpointEvery rounds, so a killed session can
+	// resume via Resume.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint period in rounds; ≤ 0 means 1.
+	CheckpointEvery int
+	// Resume restores a session from a checkpoint: training starts at
+	// ck.Round with ck.Global and the saved δ table instead of
+	// InitialParams and a zero table.
+	Resume *Checkpoint
+	// Logf receives eviction/rejoin/retry/checkpoint events
+	// (fmt.Printf-style); nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Eviction records one client dropped from a session.
+type Eviction struct {
+	Client int
+	// Round is the round being attempted when the fault surfaced;
+	// -1 means the join phase.
+	Round  int
+	Reason string
 }
 
 // ServerResult summarizes a finished session.
 type ServerResult struct {
 	FinalParams []float64
-	// RoundLosses[c] is the weighted mean client loss of round c.
+	// RoundLosses[c] is the weighted mean client loss of round c
+	// (including checkpointed rounds when resuming).
 	RoundLosses []float64
+	// Evictions lists the clients dropped during the session, in order.
+	Evictions []Eviction
+	// Rejoins counts clients re-admitted through the Rejoin channel.
+	Rejoins int
+	// RetriedRounds counts round attempts that failed (quorum miss) and
+	// were retried.
+	RetriedRounds int
+}
+
+// session is the mutable state of one Serve call. All fields are mutated
+// only between the wg.Wait barriers of the parallel phases, so no locking
+// is needed.
+type session struct {
+	cfg        ServerConfig
+	minClients int
+	conns      []Conn
+	active     []bool
+	samples    []float64 // raw per-client sample counts (join / rejoin)
+	global     []float64
+	table      *core.DeltaTable
+	res        *ServerResult
+	lastFault  string
+	// pending holds handshaked rejoiners that arrived before their crashed
+	// predecessor's eviction surfaced; they are re-placed at every round
+	// boundary until a slot frees up.
+	pending []pendingJoin
+}
+
+// pendingJoin is a rejoining client that completed its handshake but is
+// waiting for an evicted slot.
+type pendingJoin struct {
+	conn Conn
+	join *Message
 }
 
 // Serve runs a synchronous federated session over the given established
-// client connections (full participation), then sends MsgDone with the
-// final model and returns it. It is the real-deployment counterpart of
-// fl.Run + core.RFedAvgPlus.
+// client connections, then sends MsgDone with the final model and returns
+// it. It is the real-deployment counterpart of fl.Run + core.RFedAvgPlus.
+//
+// Unlike the straight-line happy path it replaces, the protocol loop is
+// structured around *round attempts*: clients that error, time out past
+// RoundDeadline, or ship invalid updates are evicted mid-round and the
+// round completes over the survivors with renormalized weights; a round
+// that ends below the MinClients quorum is retried up to MaxRoundRetries
+// times before the session aborts. Evicted clients may reconnect through
+// cfg.Rejoin and are re-admitted at the next round boundary.
 func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 	if len(conns) == 0 {
 		return nil, fmt.Errorf("transport: no clients")
@@ -55,183 +146,559 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 	if cfg.Algorithm == AlgoRFedAvgPlus && cfg.FeatureDim <= 0 {
 		return nil, fmt.Errorf("transport: rfedavg+ requires FeatureDim")
 	}
-
-	// Collect joins to learn shard sizes.
-	weights := make([]float64, len(conns))
-	total := 0.0
+	s := &session{
+		cfg:        cfg,
+		minClients: max(cfg.MinClients, 1),
+		conns:      make([]Conn, len(conns)),
+		active:     make([]bool, len(conns)),
+		samples:    make([]float64, len(conns)),
+		global:     append([]float64(nil), cfg.InitialParams...),
+		table:      core.NewDeltaTable(len(conns), max(cfg.FeatureDim, 1)),
+		res:        &ServerResult{},
+	}
+	s.table.MaxStale = cfg.MaxStaleness
 	for i, c := range conns {
-		m, err := c.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("transport: join from client %d: %w", i, err)
-		}
-		if m.Type != MsgJoin {
-			return nil, fmt.Errorf("transport: client %d sent %d, want join", i, m.Type)
-		}
-		if m.NumSamples <= 0 {
-			return nil, fmt.Errorf("transport: client %d joined with %d samples", i, m.NumSamples)
-		}
-		weights[i] = float64(m.NumSamples)
-		total += weights[i]
+		s.conns[i] = s.wrap(c)
+		s.active[i] = true
 	}
-	for i := range weights {
-		weights[i] /= total
+	maxRetries := cfg.MaxRoundRetries
+	if maxRetries <= 0 {
+		maxRetries = 2
 	}
 
-	global := append([]float64(nil), cfg.InitialParams...)
-	table := core.NewDeltaTable(len(conns), max(cfg.FeatureDim, 1))
-	res := &ServerResult{}
-	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + 17))
-
-	for round := 0; round < cfg.Rounds; round++ {
-		cohort := sampleCohort(rng, len(conns), cfg.SampleRatio)
-
-		// Sync #1: assign work to the cohort; skip everyone else.
-		if err := broadcast(conns, func(i int) *Message {
-			if !cohort[i] {
-				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
-			}
-			m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Params: global}
-			if cfg.Algorithm == AlgoRFedAvgPlus {
-				m.Delta = table.MeanExcluding(i)
-			}
-			return m
-		}); err != nil {
-			return nil, err
-		}
-
-		// Gather updates from the cohort and aggregate, renormalizing the
-		// weights over the participants.
-		updates, err := gatherFrom(conns, cohort, MsgUpdate)
-		if err != nil {
-			return nil, err
-		}
-		wsum := 0.0
-		for i, m := range updates {
-			if m != nil {
-				wsum += weights[i]
-			}
-		}
-		next := make([]float64, len(global))
-		loss := 0.0
-		for i, m := range updates {
-			if m == nil {
-				continue
-			}
-			if len(m.Params) != len(global) {
-				return nil, fmt.Errorf("transport: client %d sent %d params, want %d", i, len(m.Params), len(global))
-			}
-			wi := weights[i] / wsum
-			for j, v := range m.Params {
-				next[j] += wi * v
-			}
-			loss += wi * m.Loss
-		}
-		global = next
-		res.RoundLosses = append(res.RoundLosses, loss)
-
-		// Sync #2 (rFedAvg+ only): ship the new global model, gather maps.
-		if cfg.Algorithm == AlgoRFedAvgPlus {
-			if err := broadcast(conns, func(i int) *Message {
-				if !cohort[i] {
-					return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
-				}
-				return &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Params: global}
-			}); err != nil {
-				return nil, err
-			}
-			deltas, err := gatherFrom(conns, cohort, MsgDelta)
-			if err != nil {
-				return nil, err
-			}
-			for i, m := range deltas {
-				if m == nil {
-					continue
-				}
-				if len(m.Delta) != cfg.FeatureDim {
-					return nil, fmt.Errorf("transport: client %d sent δ of %d dims, want %d", i, len(m.Delta), cfg.FeatureDim)
-				}
-				table.Set(i, m.Delta)
-			}
-		}
-	}
-
-	if err := broadcast(conns, func(i int) *Message {
-		return &Message{Type: MsgDone, Params: global}
-	}); err != nil {
+	// Join phase: collect shard sizes; a client that fails its join is
+	// evicted rather than aborting everyone else's session.
+	if err := s.collectJoins(); err != nil {
 		return nil, err
 	}
-	res.FinalParams = global
-	return res, nil
-}
 
-// broadcast sends mk(i) to every connection concurrently.
-func broadcast(conns []Conn, mk func(i int) *Message) error {
-	errs := make([]error, len(conns))
-	var wg sync.WaitGroup
-	for i, c := range conns {
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			errs[i] = c.Send(mk(i))
-		}(i, c)
+	startRound := 0
+	if cfg.Resume != nil {
+		var err error
+		if startRound, err = s.restore(cfg.Resume); err != nil {
+			return nil, err
+		}
+		s.logf("resumed from checkpoint at round %d", startRound)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("transport: broadcast to client %d: %w", i, err)
+
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + 17))
+	attempts := 0
+	for round := startRound; round < cfg.Rounds; {
+		s.admitRejoins()
+		ok := s.activeCount() >= s.minClients || s.waitForQuorum()
+		if ok {
+			ok = s.runRound(rng, round)
+		}
+		if !ok {
+			attempts++
+			s.res.RetriedRounds++
+			s.logf("round %d attempt %d failed (quorum %d, %d active)", round, attempts, s.minClients, s.activeCount())
+			if attempts > maxRetries {
+				s.checkpoint(round) // leave a resumable state behind
+				s.closePending()
+				return nil, fmt.Errorf("transport: round %d failed after %d attempts (last fault: %s)",
+					round, attempts, s.lastFaultOr("none"))
+			}
+			continue
+		}
+		attempts = 0
+		round++
+		every := max(cfg.CheckpointEvery, 1)
+		if round%every == 0 || round == cfg.Rounds {
+			s.checkpoint(round)
 		}
 	}
-	return nil
-}
 
-// gatherFrom receives one message of the expected type from every cohort
-// connection; non-cohort slots are nil.
-func gatherFrom(conns []Conn, cohort []bool, want MsgType) ([]*Message, error) {
-	msgs := make([]*Message, len(conns))
-	errs := make([]error, len(conns))
+	// Session end: best-effort MsgDone. A dead client here must not fail
+	// a session whose training already succeeded.
+	s.closePending()
+	ctx, cancel := s.phaseCtx()
 	var wg sync.WaitGroup
-	for i, c := range conns {
-		if !cohort[i] {
+	for i, c := range s.conns {
+		if !s.active[i] {
 			continue
 		}
 		wg.Add(1)
 		go func(i int, c Conn) {
 			defer wg.Done()
-			m, err := c.Recv()
-			if err == nil && m.Type != want {
-				err = fmt.Errorf("got message type %d, want %d", m.Type, want)
+			if err := sendCtx(ctx, c, &Message{Type: MsgDone, Params: s.global}); err != nil {
+				s.logf("done to client %d failed (ignored): %v", i, err)
 			}
-			msgs[i], errs[i] = m, err
+		}(i, c)
+	}
+	wg.Wait()
+	cancel()
+	s.res.FinalParams = s.global
+	return s.res, nil
+}
+
+// wrap puts the deadline wrapper around a conn when deadlines are on.
+func (s *session) wrap(c Conn) Conn {
+	if s.cfg.RoundDeadline > 0 {
+		return NewDeadlineConn(c, s.cfg.RoundDeadline, s.cfg.RoundDeadline)
+	}
+	return c
+}
+
+func (s *session) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *session) lastFaultOr(fallback string) string {
+	if s.lastFault == "" {
+		return fallback
+	}
+	return s.lastFault
+}
+
+// phaseCtx returns the per-phase deadline context.
+func (s *session) phaseCtx() (context.Context, context.CancelFunc) {
+	if s.cfg.RoundDeadline <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), s.cfg.RoundDeadline)
+}
+
+func (s *session) activeCount() int {
+	n := 0
+	for _, a := range s.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// evict removes client i from the session: its connection is closed (which
+// also reaps any deadline-abandoned goroutine blocked on it) and its
+// aggregation weight stops counting. Its δ row stays in the table — stale
+// — so the regularization targets degrade gracefully and a rejoin resumes
+// from the last known map.
+func (s *session) evict(i, round int, reason string) {
+	if !s.active[i] {
+		return
+	}
+	s.active[i] = false
+	s.conns[i].Close()
+	s.res.Evictions = append(s.res.Evictions, Eviction{Client: i, Round: round, Reason: reason})
+	s.lastFault = fmt.Sprintf("client %d: %s", i, reason)
+	s.logf("evicted client %d (round %d): %s", i, round, reason)
+}
+
+// collectJoins gathers the MsgJoin handshake from every initial client.
+func (s *session) collectJoins() error {
+	ctx, cancel := s.phaseCtx()
+	defer cancel()
+	msgs := make([]*Message, len(s.conns))
+	errs := make([]error, len(s.conns))
+	var wg sync.WaitGroup
+	for i, c := range s.conns {
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			msgs[i], errs[i] = recvCtx(ctx, c)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, m := range msgs {
+		switch {
+		case errs[i] != nil:
+			s.evict(i, -1, fmt.Sprintf("join: %v", errs[i]))
+		case m.Type != MsgJoin:
+			s.evict(i, -1, fmt.Sprintf("sent %d, want join", m.Type))
+		case m.NumSamples <= 0:
+			s.evict(i, -1, fmt.Sprintf("joined with %d samples", m.NumSamples))
+		default:
+			s.samples[i] = float64(m.NumSamples)
+		}
+	}
+	if s.activeCount() == 0 {
+		return fmt.Errorf("transport: no clients joined (last fault: %s)", s.lastFaultOr("none"))
+	}
+	return nil
+}
+
+// restore loads checkpoint state into the session.
+func (s *session) restore(ck *Checkpoint) (int, error) {
+	if len(ck.Global) != len(s.global) {
+		return 0, fmt.Errorf("transport: checkpoint has %d params, model has %d", len(ck.Global), len(s.global))
+	}
+	if ck.Round < 0 || ck.Round > s.cfg.Rounds {
+		return 0, fmt.Errorf("transport: checkpoint round %d outside [0, %d]", ck.Round, s.cfg.Rounds)
+	}
+	copy(s.global, ck.Global)
+	if s.cfg.Algorithm == AlgoRFedAvgPlus && ck.DeltaRows != nil {
+		if len(ck.DeltaRows) != len(s.conns) {
+			return 0, fmt.Errorf("transport: checkpoint has %d δ rows, session has %d clients", len(ck.DeltaRows), len(s.conns))
+		}
+		for k, row := range ck.DeltaRows {
+			if len(row) != s.cfg.FeatureDim {
+				return 0, fmt.Errorf("transport: checkpoint δ row %d has %d dims, want %d", k, len(row), s.cfg.FeatureDim)
+			}
+			s.table.Set(k, row)
+			if k < len(ck.DeltaAges) {
+				s.table.SetAge(k, ck.DeltaAges[k])
+			}
+		}
+	}
+	s.res.RoundLosses = append(s.res.RoundLosses, ck.RoundLosses...)
+	return ck.Round, nil
+}
+
+// checkpoint writes the current round boundary to CheckpointPath (best
+// effort: a failed write is logged, not fatal to training).
+func (s *session) checkpoint(nextRound int) {
+	if s.cfg.CheckpointPath == "" {
+		return
+	}
+	ck := &Checkpoint{
+		Round:       nextRound,
+		Global:      append([]float64(nil), s.global...),
+		RoundLosses: append([]float64(nil), s.res.RoundLosses...),
+	}
+	if s.cfg.Algorithm == AlgoRFedAvgPlus {
+		ck.DeltaRows = make([][]float64, len(s.conns))
+		ck.DeltaAges = make([]int, len(s.conns))
+		for k := range ck.DeltaRows {
+			ck.DeltaRows[k] = append([]float64(nil), s.table.Get(k)...)
+			ck.DeltaAges[k] = s.table.Age(k)
+		}
+	}
+	if err := SaveCheckpoint(s.cfg.CheckpointPath, ck); err != nil {
+		s.logf("checkpoint at round %d failed (ignored): %v", nextRound, err)
+		return
+	}
+	s.logf("checkpoint at round %d → %s", nextRound, s.cfg.CheckpointPath)
+}
+
+// closePending closes rejoiners that never found a slot, so their clients
+// observe EOF instead of blocking forever on a session that has ended.
+func (s *session) closePending() {
+	for _, p := range s.pending {
+		p.conn.Close()
+	}
+	s.pending = nil
+}
+
+// admitRejoins re-places parked rejoiners (whose slot may have freed since
+// last round) and drains the rejoin channel without blocking.
+func (s *session) admitRejoins() {
+	parked := s.pending
+	s.pending = nil
+	for _, p := range parked {
+		s.place(p)
+	}
+	for s.cfg.Rejoin != nil {
+		select {
+		case c, ok := <-s.cfg.Rejoin:
+			if !ok {
+				s.cfg.Rejoin = nil
+				return
+			}
+			s.admit(c)
+		default:
+			return
+		}
+	}
+}
+
+// waitForQuorum blocks on the rejoin channel (up to one RoundDeadline per
+// attempt) hoping enough clients come back; reports whether quorum holds.
+func (s *session) waitForQuorum() bool {
+	if s.cfg.Rejoin == nil {
+		return false
+	}
+	var timeout <-chan time.Time
+	if s.cfg.RoundDeadline > 0 {
+		t := time.NewTimer(s.cfg.RoundDeadline)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for s.activeCount() < s.minClients {
+		select {
+		case c, ok := <-s.cfg.Rejoin:
+			if !ok {
+				s.cfg.Rejoin = nil
+				return false
+			}
+			s.admit(c)
+		case <-timeout:
+			return false
+		}
+	}
+	return true
+}
+
+// admit performs the join handshake with a reconnecting client and hands it
+// to place. A rejoiner can outrun its own eviction — the reconnect may land
+// before the crash has surfaced server-side — so a handshaked client that
+// finds no free slot is parked, not refused, and re-placed each boundary.
+func (s *session) admit(raw Conn) {
+	c := s.wrap(raw)
+	ctx, cancel := s.phaseCtx()
+	m, err := recvCtx(ctx, c)
+	cancel()
+	if err != nil || m.Type != MsgJoin || m.NumSamples <= 0 {
+		s.logf("rejoin refused (bad handshake): %v", err)
+		c.Close()
+		return
+	}
+	s.place(pendingJoin{conn: c, join: m})
+}
+
+// place re-admits a handshaked rejoiner into an evicted slot — the slot its
+// join hints at if that one is free, else the lowest evicted slot. The slot
+// keeps its (stale) δ row, so the client resumes exactly where the
+// δ-staleness fallback left it. With every slot still active the rejoiner is
+// parked for the next boundary.
+func (s *session) place(p pendingJoin) {
+	slot := -1
+	if id := int(p.join.ClientID); id >= 0 && id < len(s.conns) && !s.active[id] {
+		slot = id
+	} else {
+		for i, a := range s.active {
+			if !a {
+				slot = i
+				break
+			}
+		}
+	}
+	if slot < 0 {
+		s.logf("rejoin parked: no evicted slot free yet")
+		s.pending = append(s.pending, p)
+		return
+	}
+	s.conns[slot] = p.conn
+	s.active[slot] = true
+	s.samples[slot] = float64(p.join.NumSamples)
+	s.res.Rejoins++
+	s.logf("client rejoined into slot %d (%d samples, δ age %d)", slot, p.join.NumSamples, s.table.Age(slot))
+}
+
+// runRound attempts one full round over the currently active clients.
+// It returns false — leaving the global model untouched — when fewer than
+// MinClients valid updates arrive (satisfying quorum is the caller's
+// retry loop's job). Faulty clients are evicted along the way.
+func (s *session) runRound(rng *rand.Rand, round int) bool {
+	plus := s.cfg.Algorithm == AlgoRFedAvgPlus
+	cohort := sampleCohortActive(rng, s.active, s.cfg.SampleRatio)
+
+	// Sync #1: assign work to the cohort; skip everyone else.
+	ctx, cancel := s.phaseCtx()
+	s.broadcastActive(ctx, round, func(i int) *Message {
+		if !cohort[i] {
+			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
+		}
+		m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Params: s.global}
+		if plus {
+			m.Delta = s.table.MeanExcluding(i)
+		}
+		return m
+	})
+	updates := s.gatherActive(ctx, round, cohort, MsgUpdate)
+	cancel()
+
+	// Validate before aggregating: a single NaN/Inf in params or loss
+	// would otherwise poison the global model silently.
+	delivered := make([]bool, len(s.conns))
+	valid := 0
+	for i, m := range updates {
+		if m == nil {
+			continue
+		}
+		switch {
+		case len(m.Params) != len(s.global):
+			s.evict(i, round, fmt.Sprintf("sent %d params, want %d", len(m.Params), len(s.global)))
+			updates[i] = nil
+		case !finiteSlice(m.Params) || !isFinite(m.Loss):
+			s.evict(i, round, "non-finite update (NaN/Inf in params or loss)")
+			updates[i] = nil
+		default:
+			delivered[i] = true
+			valid++
+		}
+	}
+	if valid < s.minClients {
+		return false
+	}
+	// Renormalize the aggregation weights over the survivors that actually
+	// delivered. valid ≥ 1 and every join carried > 0 samples, but guard
+	// the division anyway: 0/0 here would NaN the whole model.
+	wsum := 0.0
+	for i, d := range delivered {
+		if d {
+			wsum += s.samples[i]
+		}
+	}
+	if wsum <= 0 {
+		s.lastFault = "empty effective cohort (wsum = 0)"
+		return false
+	}
+	next := make([]float64, len(s.global))
+	loss := 0.0
+	for i, m := range updates {
+		if m == nil {
+			continue
+		}
+		wi := s.samples[i] / wsum
+		for j, v := range m.Params {
+			next[j] += wi * v
+		}
+		loss += wi * m.Loss
+	}
+	s.global = next
+	s.res.RoundLosses = append(s.res.RoundLosses, loss)
+
+	// Sync #2 (rFedAvg+ only): ship the new global model, gather maps.
+	// A client lost here keeps its previous (now stale) row — the
+	// δ-staleness fallback — instead of failing the round.
+	if plus {
+		ctx2, cancel2 := s.phaseCtx()
+		s.broadcastActive(ctx2, round, func(i int) *Message {
+			if !delivered[i] {
+				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
+			}
+			return &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Params: s.global}
+		})
+		deltas := s.gatherActive(ctx2, round, delivered, MsgDelta)
+		cancel2()
+		for i, m := range deltas {
+			if m == nil {
+				continue
+			}
+			switch {
+			case len(m.Delta) != s.cfg.FeatureDim:
+				s.evict(i, round, fmt.Sprintf("sent δ of %d dims, want %d", len(m.Delta), s.cfg.FeatureDim))
+			case !finiteSlice(m.Delta):
+				s.evict(i, round, "non-finite δ map")
+			default:
+				s.table.Set(i, m.Delta)
+			}
+		}
+		s.table.Tick()
+	}
+	return true
+}
+
+// broadcastActive sends mk(i) to every active connection concurrently;
+// clients whose send fails are evicted.
+func (s *session) broadcastActive(ctx context.Context, round int, mk func(i int) *Message) {
+	errs := make([]error, len(s.conns))
+	var wg sync.WaitGroup
+	for i, c := range s.conns {
+		if !s.active[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			errs[i] = sendCtx(ctx, c, mk(i))
 		}(i, c)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("transport: gather from client %d: %w", i, err)
+			s.evict(i, round, fmt.Sprintf("broadcast: %v", err))
 		}
 	}
-	return msgs, nil
 }
 
-// sampleCohort marks ⌈sr·n⌉ distinct participants; sr outside (0,1) means
-// everyone.
-func sampleCohort(rng *rand.Rand, n int, sr float64) []bool {
-	cohort := make([]bool, n)
-	if sr <= 0 || sr >= 1 {
-		for i := range cohort {
-			cohort[i] = true
+// gatherActive receives one message of the expected type (for the current
+// round) from every active connection marked in from; other slots are nil.
+// Clients that error, time out, or flood garbage are evicted and their
+// slot stays nil.
+func (s *session) gatherActive(ctx context.Context, round int, from []bool, want MsgType) []*Message {
+	msgs := make([]*Message, len(s.conns))
+	errs := make([]error, len(s.conns))
+	var wg sync.WaitGroup
+	for i, c := range s.conns {
+		if !from[i] || !s.active[i] {
+			continue
 		}
+		wg.Add(1)
+		go func(i int, c Conn) {
+			defer wg.Done()
+			msgs[i], errs[i] = gatherOne(ctx, c, want, round)
+		}(i, c)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			msgs[i] = nil
+			s.evict(i, round, fmt.Sprintf("gather: %v", err))
+		}
+	}
+	return msgs
+}
+
+// gatherOne receives until it sees the wanted (type, round) frame,
+// skipping a bounded number of stale frames — duplicated deliveries and
+// leftovers from failed round attempts — before giving up.
+func gatherOne(ctx context.Context, c Conn, want MsgType, round int) (*Message, error) {
+	const skipBudget = 4
+	for skips := 0; ; skips++ {
+		m, err := recvCtx(ctx, c)
+		if err != nil {
+			return nil, err
+		}
+		if m.Type == want && int(m.Round) == round {
+			return m, nil
+		}
+		if skips >= skipBudget {
+			return nil, fmt.Errorf("got message type %d round %d, want %d round %d", m.Type, m.Round, want, round)
+		}
+	}
+}
+
+// sampleCohortActive marks ⌈sr·(active count)⌉ distinct active
+// participants; sr outside (0,1) means every active client.
+func sampleCohortActive(rng *rand.Rand, active []bool, sr float64) []bool {
+	cohort := make([]bool, len(active))
+	if sr <= 0 || sr >= 1 {
+		copy(cohort, active)
 		return cohort
 	}
-	k := int(math.Ceil(sr * float64(n)))
+	idx := make([]int, 0, len(active))
+	for i, a := range active {
+		if a {
+			idx = append(idx, i)
+		}
+	}
+	k := int(math.Ceil(sr * float64(len(idx))))
 	if k < 1 {
 		k = 1
 	}
-	for _, i := range rng.Perm(n)[:k] {
-		cohort[i] = true
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for _, p := range rng.Perm(len(idx))[:k] {
+		cohort[idx[p]] = true
 	}
 	return cohort
 }
+
+// sampleCohort is sampleCohortActive over a fully active population.
+func sampleCohort(rng *rand.Rand, n int, sr float64) []bool {
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	return sampleCohortActive(rng, active, sr)
+}
+
+// finiteSlice reports whether every element is finite.
+func finiteSlice(v []float64) bool {
+	for _, x := range v {
+		if !isFinite(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 func max(a, b int) int {
 	if a > b {
