@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
+.PHONY: all build vet test test-race telemetry-smoke bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
@@ -10,7 +10,9 @@ build:
 vet:
 	go vet ./...
 
-test:
+# vet is a prerequisite: the default test path fails on vet findings before
+# any test runs.
+test: vet
 	go test ./...
 
 # Race-detect the packages where goroutines share state: the worker pool and
@@ -18,6 +20,12 @@ test:
 # reuse (nn), and the wire protocol (transport).
 test-race:
 	go test -race ./internal/fl/... ./internal/tensor/... ./internal/nn/... ./internal/transport/...
+
+# Smoke-test the observability surface: run a short in-process federated
+# session against a fresh registry, scrape /metrics over HTTP, and fail if
+# any core series (phase histograms, fault counters, byte series) is gone.
+telemetry-smoke:
+	go run ./cmd/flbench -telemetry-smoke
 
 # The full benchmark harness: one testing.B benchmark per paper table and
 # figure plus ablations and micro-benchmarks.

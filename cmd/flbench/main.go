@@ -16,7 +16,13 @@
 // allocs/op as JSON — the per-PR regression records kept in BENCH_*.json
 // (BENCH_hotpath.json, BENCH_gemm.json, …). With -bench-compare PREV,CUR it
 // diffs two such records and exits non-zero when a case regressed by more
-// than 10% ns/op or grew its steady-state allocations (`make bench-compare`).
+// than 10% of a median-of-3 ns/op measurement or grew its steady-state
+// allocations (`make bench-compare`).
+//
+// With -telemetry-smoke it runs a short in-process federated session against
+// a fresh metric registry, scrapes the /metrics endpoint, and exits non-zero
+// if any core series is missing — the CI gate behind `make telemetry-smoke`.
+// -telemetry prints the process registry summary after an experiment run.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,8 +47,19 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress progress logging")
 		benchJSON = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
 		benchCmp  = flag.String("bench-compare", "", "compare two bench JSON records given as PREV,CUR; exit 1 on >10% ns/op regression")
+		smoke     = flag.Bool("telemetry-smoke", false, "run a short instrumented session, scrape /metrics, and fail on missing core series")
+		showTelem = flag.Bool("telemetry", false, "print the process metric registry after the run")
 	)
 	flag.Parse()
+
+	if *smoke {
+		if err := telemetrySmoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench: telemetry-smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("telemetry smoke test passed")
+		return
+	}
 
 	if *benchCmp != "" {
 		prevPath, curPath, ok := strings.Cut(*benchCmp, ",")
@@ -124,5 +142,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintln(out)
+	}
+	if *showTelem {
+		fmt.Fprintln(os.Stderr, "telemetry summary:")
+		telemetry.Default().WriteSummary(os.Stderr)
 	}
 }

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// smokeSeries are the core series a scrape of a live rFedAvg+ session must
+// expose. Counters and histograms appear as soon as they are registered, so
+// presence proves the whole instrumentation path is wired, not that every
+// fault type occurred during the two smoke rounds.
+var smokeSeries = []string{
+	`rfl_rounds_completed_total 2`,
+	`rfl_round_retries_total`,
+	`rfl_evictions_total`,
+	`rfl_rejoins_total`,
+	`rfl_round_seconds_bucket`,
+	`rfl_phase_seconds_bucket{phase="join"`,
+	`rfl_phase_seconds_bucket{phase="broadcast"`,
+	`rfl_phase_seconds_bucket{phase="gather"`,
+	`rfl_phase_seconds_bucket{phase="delta_sync"`,
+	`rfl_bytes_sent_total{algo="rfedavg+"}`,
+	`rfl_bytes_received_total{algo="rfedavg+"}`,
+	`rfl_delta_staleness_age_bucket`,
+	`rfl_delta_stale_rows`,
+}
+
+// telemetrySmoke runs a 3-client, 2-round rFedAvg+ session over in-process
+// pipes against a fresh registry served on a loopback listener, then
+// scrapes /metrics like a Prometheus agent would and checks every core
+// series is present. It also probes /healthz and /debug/pprof/.
+func telemetrySmoke(w io.Writer) error {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(w, "scrape target: http://%s/metrics\n", srv.Addr())
+
+	if err := runSmokeSession(reg); err != nil {
+		return err
+	}
+
+	body, err := get(srv.Addr(), "/metrics")
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, s := range smokeSeries {
+		if !strings.Contains(body, s) {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("scrape is missing %d core series:\n  %s\n--- scrape ---\n%s",
+			len(missing), strings.Join(missing, "\n  "), body)
+	}
+	if health, err := get(srv.Addr(), "/healthz"); err != nil || !strings.Contains(health, "ok") {
+		return fmt.Errorf("/healthz not ok: %q, %v", health, err)
+	}
+	if _, err := get(srv.Addr(), "/debug/pprof/"); err != nil {
+		return fmt.Errorf("/debug/pprof/: %w", err)
+	}
+	fmt.Fprintf(w, "all %d core series present; /healthz and /debug/pprof/ responding\n", len(smokeSeries))
+	return nil
+}
+
+// runSmokeSession drives a short in-process federated session recording
+// into reg.
+func runSmokeSession(reg *telemetry.Registry) error {
+	const clients, rounds = 3, 2
+	train := data.SynthMNIST(240, 1)
+	parts := data.PartitionBySimilarity(train.Y, clients, 0, rand.New(rand.NewSource(2)))
+	builder := nn.NewMLP(train.Features(), 16, 8, train.Classes)
+	net := builder(7)
+
+	serverConns := make([]transport.Conn, clients)
+	clientConns := make([]transport.Conn, clients)
+	for i := range serverConns {
+		serverConns[i], clientConns[i] = transport.Pipe()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = transport.RunClient(clientConns[i], train.Subset(parts[i]), transport.ClientConfig{
+				Builder: builder, ModelSeed: 7, Seed: int64(100 + i),
+				LocalSteps: 2, BatchSize: 16, LR: opt.ConstLR(0.1), Lambda: 1e-3,
+			})
+		}(i)
+	}
+	_, err := transport.Serve(transport.ServerConfig{
+		Algorithm:     transport.AlgoRFedAvgPlus,
+		Rounds:        rounds,
+		InitialParams: net.GetFlat(),
+		FeatureDim:    net.FeatureDim,
+		Seed:          5,
+		Metrics:       reg,
+	}, serverConns)
+	wg.Wait()
+	if err != nil {
+		return fmt.Errorf("smoke session: %w", err)
+	}
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("smoke client %d: %w", i, e)
+		}
+	}
+	return nil
+}
+
+func get(addr, path string) (string, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return string(body), fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return string(body), nil
+}

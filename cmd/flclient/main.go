@@ -19,6 +19,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -39,6 +40,7 @@ func main() {
 		dataSeed   = flag.Int64("dataseed", 1, "data-generation seed (must match other clients)")
 		retries    = flag.Int("retries", 0, "re-dial and rejoin this many times after a connection failure")
 		backoff    = flag.Duration("backoff", 2*time.Second, "wait between rejoin attempts")
+		showTelem  = flag.Bool("telemetry", false, "print the process metric registry after the session")
 	)
 	flag.Parse()
 	if *shard < 0 || *shard >= *of {
@@ -107,6 +109,10 @@ func main() {
 				fmt.Printf("done: received final model (%d params); sent %s, received %s\n",
 					len(final), fmtBytes(conn.BytesSent()), fmtBytes(conn.BytesReceived()))
 				conn.Close()
+				if *showTelem {
+					fmt.Println("telemetry summary:")
+					telemetry.Default().WriteSummary(os.Stdout)
+				}
 				return
 			}
 			conn.Close()

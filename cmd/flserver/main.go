@@ -17,6 +17,13 @@
 // next round boundary. -min-clients sets the quorum below which a round is
 // retried, and -checkpoint makes the server persist round checkpoints so a
 // killed session can be resumed with -resume.
+//
+// Observability: -telemetry-addr starts an HTTP listener exposing the
+// process's metric registry as Prometheus text at /metrics, a liveness
+// probe at /healthz, and the standard pprof endpoints under /debug/pprof/.
+// -events appends one JSON line per lifecycle event (evict, rejoin, retry,
+// checkpoint, resume) to a file, and the registry summary prints when the
+// session ends.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -51,8 +59,21 @@ func main() {
 		ckptPath   = flag.String("checkpoint", "", "write atomic round checkpoints to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint period in rounds")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
+
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		eventsPath    = flag.String("events", "", "append JSONL lifecycle events (evict/rejoin/retry/checkpoint/resume) to this file")
 	)
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		ts, err := telemetry.ListenAndServe(*telemetryAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flserver:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", ts.Addr())
+	}
 
 	builder, err := modelFor(*dataset, *featureDim)
 	if err != nil {
@@ -115,6 +136,15 @@ func main() {
 			fmt.Printf("[fault] "+format+"\n", args...)
 		},
 	}
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flserver: events:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.Events = telemetry.NewEventLog(f)
+	}
 	if *resume && *ckptPath != "" {
 		if ck, err := transport.LoadCheckpoint(*ckptPath); err == nil {
 			cfg.Resume = ck
@@ -151,6 +181,9 @@ func main() {
 		x, y := test.Gather(idx)
 		fmt.Printf("final test accuracy: %.4f\n", nn.Accuracy(net.Predict(x), y))
 	}
+
+	fmt.Println("telemetry summary:")
+	telemetry.Default().WriteSummary(os.Stdout)
 }
 
 func modelFor(dataset string, featureDim int) (nn.Builder, error) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		testN      = flag.Int("test", 800, "test samples (image datasets)")
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		seed       = flag.Int64("seed", 1, "random seed")
+		showTelem  = flag.Bool("telemetry", false, "print the process metric registry after the run")
 	)
 	flag.Parse()
 
@@ -116,6 +118,10 @@ func main() {
 			metrics.FormatBytes(r.UpBytes), metrics.FormatBytes(r.DownBytes))
 	}
 	fmt.Println(h.Summary())
+	if *showTelem {
+		fmt.Println("telemetry summary:")
+		telemetry.Default().WriteSummary(os.Stdout)
+	}
 }
 
 func makeData(dataset string, trainN, testN, clients, featureDim int, seed int64) (

@@ -10,7 +10,8 @@ import (
 
 // maxNsRegression is the fractional serial ns/op increase tolerated by
 // Compare before it reports failure: benchmarks recorded on the same
-// machine jitter a few percent run to run; >10% is a real regression.
+// machine jitter a few percent run to run; >10% of a median-of-benchRuns
+// measurement is a real regression.
 const maxNsRegression = 0.10
 
 // ReadReport loads a BENCH_*.json document.

@@ -183,6 +183,14 @@ func (t *DeltaTable) Age(k int) int { return t.ages[k] }
 // SetAge restores row k's staleness age (checkpoint restore).
 func (t *DeltaTable) SetAge(k, age int) { t.ages[k] = age }
 
+// ForEachAge calls fn with every row's current staleness age, in row order
+// — the observation hook behind the server's staleness-age histogram.
+func (t *DeltaTable) ForEachAge(fn func(age int)) {
+	for _, a := range t.ages {
+		fn(a)
+	}
+}
+
 // Tick advances every row's age by one round. Call once per completed
 // round, after the fresh maps were Set (Set zeroes the age, so freshly
 // refreshed rows end the round at age 1, missing rows keep growing).

@@ -62,6 +62,43 @@ func TestLocalTrainSteadyStateAllocsConv(t *testing.T) {
 	testSteadyStateAllocs(t, nn.NewImageCNN(nn.ImageSpec{C: 1, H: 14, W: 14, Classes: 10}, 32), ds, 16)
 }
 
+// TestTelemetryCountersAdvanceWithoutAllocs pins the telemetry layer's side
+// of the zero-alloc contract: the hot-path counters (local steps, samples,
+// forward/backward passes, GEMM calls) must visibly advance during a train
+// step while the step itself stays allocation-free — instrumentation is
+// atomic updates, never formatting or boxing.
+func TestTelemetryCountersAdvanceWithoutAllocs(t *testing.T) {
+	prev := tensor.SetKernelParallelism(1)
+	defer tensor.SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(8))
+	ds := allocTestDataset(rng, 256, 64, 10)
+	f := singleWorkerFederation(nn.NewMLP(64, 64, 32, 10), ds, 32)
+	w, c := f.Worker(0), f.Clients[0]
+	trainRNG := rand.New(rand.NewSource(9))
+	o := f.DefaultLocalOpts(0)
+	for i := 0; i < 3; i++ {
+		f.LocalTrain(w, c, trainRNG, o)
+	}
+
+	stepsBefore := localSteps.Value()
+	samplesBefore := trainSamples.Value()
+	const runs = 20
+	allocs := testing.AllocsPerRun(runs, func() {
+		f.LocalTrain(w, c, trainRNG, o)
+	})
+	if allocs != 0 {
+		t.Errorf("instrumented train step: %.1f allocs/op, want 0", allocs)
+	}
+	// AllocsPerRun executes the body runs+1 times (one warm-up call).
+	wantSteps := int64((runs + 1) * o.E)
+	if got := localSteps.Value() - stepsBefore; got != wantSteps {
+		t.Errorf("fl_local_steps_total advanced by %d, want %d", got, wantSteps)
+	}
+	if got := trainSamples.Value() - samplesBefore; got != wantSteps*int64(o.B) {
+		t.Errorf("fl_train_samples_total advanced by %d, want %d", got, wantSteps*int64(o.B))
+	}
+}
+
 // TestLocalTrainAllocsAcrossBatchSizes re-runs the steady-state check after
 // the batch size changes mid-stream: the arena and layer scratch must regrow
 // once for the larger batch and then be allocation-free again, and shrinking

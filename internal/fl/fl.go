@@ -262,9 +262,11 @@ type LocalOpts struct {
 func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpts) float64 {
 	params := w.net.Params()
 	totalLoss := 0.0
+	samples := 0
 	perm := w.arena.Ints("batch.perm", c.Data.Len())
 	for i := 0; i < o.E; i++ {
 		idx := c.Data.RandomBatchInto(rng, o.B, perm)
+		samples += len(idx)
 		x := w.arena.Tensor("batch.x", len(idx), c.Data.Features())
 		y := w.arena.Ints("batch.y", len(idx))
 		c.Data.GatherInto(idx, x, y)
@@ -286,6 +288,8 @@ func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpt
 		}
 		w.localOpt.Step(params, o.LR(i))
 	}
+	localSteps.Add(int64(o.E))
+	trainSamples.Add(int64(samples))
 	return totalLoss / float64(o.E)
 }
 

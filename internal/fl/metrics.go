@@ -1,0 +1,13 @@
+package fl
+
+import "repro/internal/telemetry"
+
+// Process-wide training-progress counters on the default registry: local
+// SGD steps and the samples they consumed, across every client and worker.
+// Recorded once per LocalTrain call (two atomic adds), nothing per step.
+var (
+	localSteps = telemetry.Default().Counter("fl_local_steps_total",
+		"local mini-batch SGD steps executed across all clients")
+	trainSamples = telemetry.Default().Counter("fl_train_samples_total",
+		"training samples consumed by local steps across all clients")
+)

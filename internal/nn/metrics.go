@@ -1,0 +1,15 @@
+package nn
+
+import "repro/internal/telemetry"
+
+// Process-wide pass counters on the default registry. One atomic add per
+// network-level pass — cheap enough to live inside the allocation-free
+// train step, and together with tensor_gemm_flops_total they let a scrape
+// attribute arithmetic to training (forward+backward) vs evaluation
+// (forward-only) work.
+var (
+	forwardPasses = telemetry.Default().Counter("nn_forward_passes_total",
+		"full network forward passes (training and evaluation)")
+	backwardPasses = telemetry.Default().Counter("nn_backward_passes_total",
+		"full network backward passes")
+)

@@ -24,6 +24,7 @@ func NewNetwork(feature *Sequential, head Layer, featureDim int) *Network {
 
 // Forward returns both the feature activations φ(x) and the logits.
 func (n *Network) Forward(x *tensor.Tensor, train bool) (feat, logits *tensor.Tensor) {
+	forwardPasses.Inc()
 	feat = n.Feature.Forward(x, train)
 	n.feat = feat
 	logits = n.Head.Forward(feat, train)
@@ -51,6 +52,7 @@ func (n *Network) Predict(x *tensor.Tensor) *tensor.Tensor {
 // (the distribution regularizer's contribution, which attaches at φ's
 // output rather than at the logits).
 func (n *Network) Backward(dlogits, dfeatExtra *tensor.Tensor) {
+	backwardPasses.Inc()
 	dfeat := n.Head.Backward(dlogits)
 	if dfeatExtra != nil {
 		dfeat.AddInPlace(dfeatExtra)

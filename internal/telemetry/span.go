@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Span measures one phase of work into a histogram of seconds. It is a
+// value type — starting and ending a span allocates nothing.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing; h may be nil (the span then only measures).
+func StartSpan(h *Histogram) Span {
+	return Span{h: h, start: time.Now()}
+}
+
+// End stops the span, records the elapsed seconds into the histogram, and
+// returns the duration.
+func (s Span) End() time.Duration {
+	d := time.Since(s.start)
+	if s.h != nil {
+		s.h.Observe(d.Seconds())
+	}
+	return d
+}
+
+// EventLog writes one JSON object per line — the optional structured
+// companion to the metrics registry, meant for post-hoc debugging of a
+// session (evictions, retries, rejoins, checkpoints, resume). A nil
+// *EventLog is valid and discards everything, so call sites need no guards.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewEventLog wraps w (typically an *os.File opened in append mode).
+func NewEventLog(w io.Writer) *EventLog { return &EventLog{w: w} }
+
+// Emit writes {"ts":…,"event":…,"round":…,"detail":…} followed by a
+// newline. The encoder is hand-rolled over a reused buffer: no
+// encoding/json, one Write call per event.
+func (l *EventLog) Emit(event string, round int, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = append(b, `{"ts":`...)
+	b = strconv.AppendQuote(b, time.Now().UTC().Format(time.RFC3339Nano))
+	b = append(b, `,"event":`...)
+	b = strconv.AppendQuote(b, event)
+	b = append(b, `,"round":`...)
+	b = strconv.AppendInt(b, int64(round), 10)
+	if detail != "" {
+		b = append(b, `,"detail":`...)
+		b = strconv.AppendQuote(b, detail)
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	l.w.Write(b)
+}

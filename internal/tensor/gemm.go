@@ -121,6 +121,8 @@ func growFloats(buf []float64, n int) []float64 {
 // loop nest with its own packing scratch, so workers share only read-only
 // inputs and write disjoint output rows.
 func gemm(out, a, b *Tensor, m, k, n int, transA, transB bool) {
+	gemmCalls.Inc()
+	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
 	w := rowWorkers(m/gemmMR, m*n)
 	if w == 1 {
 		s := gemmGetScratch()

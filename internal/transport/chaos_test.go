@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"io"
 	"math"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // --- Acceptance: a hung client no longer blocks Serve forever. ---------------
@@ -134,12 +138,16 @@ func TestServeFailureMatrix(t *testing.T) {
 			t.Parallel()
 			fx := newFixture(t, clients)
 			net := fx.builder(fx.ccfg.ModelSeed)
+			// A per-subtest registry keeps parallel cases from counting
+			// into each other's series.
+			reg := telemetry.NewRegistry()
 			scfg := ServerConfig{
 				Algorithm:     AlgoRFedAvgPlus,
 				Rounds:        rounds,
 				InitialParams: net.GetFlat(),
 				FeatureDim:    net.FeatureDim,
 				RoundDeadline: tc.deadline,
+				Metrics:       reg,
 			}
 			if scfg.RoundDeadline == 0 {
 				scfg.RoundDeadline = 5 * time.Second
@@ -194,6 +202,15 @@ func TestServeFailureMatrix(t *testing.T) {
 				if tc.wantReason != "" && !strings.Contains(res.Evictions[0].Reason, tc.wantReason) {
 					t.Fatalf("eviction reason %q does not mention %q", res.Evictions[0].Reason, tc.wantReason)
 				}
+			}
+			// The telemetry layer must agree with the session result: the
+			// eviction counter counts exactly the evicted clients, and the
+			// round counter the completed rounds.
+			if got := reg.Counter("rfl_evictions_total", "").Value(); got != int64(len(res.Evictions)) {
+				t.Fatalf("eviction counter = %d, want %d", got, len(res.Evictions))
+			}
+			if got := reg.Counter("rfl_rounds_completed_total", "").Value(); got != int64(rounds) {
+				t.Fatalf("round counter = %d, want %d", got, rounds)
 			}
 			// Fault-free slots must close cleanly.
 			for i := range serverConns {
@@ -509,4 +526,107 @@ func TestChaosConvergence20Clients(t *testing.T) {
 	if f >= faulty.RoundLosses[0] || b >= baseline.RoundLosses[0] {
 		t.Fatalf("losses did not decrease: baseline %v, faulty %v", baseline.RoundLosses, faulty.RoundLosses)
 	}
+}
+
+// --- Telemetry: a chaos session's registry, scraped over HTTP like a
+// --- Prometheus agent would, exposes the per-phase histograms and fault
+// --- counters that match the session result.
+
+func TestChaosSessionMetricsScrape(t *testing.T) {
+	const clients, rounds = 3, 3
+	fx := newFixture(t, clients)
+	net := fx.builder(fx.ccfg.ModelSeed)
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scfg := ServerConfig{
+		Algorithm:     AlgoRFedAvgPlus,
+		Rounds:        rounds,
+		InitialParams: net.GetFlat(),
+		FeatureDim:    net.FeatureDim,
+		RoundDeadline: 5 * time.Second,
+		Metrics:       reg,
+	}
+	serverConns := make([]Conn, clients)
+	clientConns := make([]Conn, clients)
+	for i := range serverConns {
+		serverConns[i], clientConns[i] = Pipe()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := fx.ccfg
+			cfg.Seed = int64(500 + i)
+			conn := clientConns[i]
+			if i == 2 {
+				// Dies sending its round-0 update.
+				conn = NewFaultConn(conn, FaultPlan{Seed: 1, DisconnectAfterOps: 2})
+			}
+			_, _ = RunClient(conn, fx.shards[i], cfg)
+		}(i)
+	}
+	res, err := Serve(scfg, serverConns)
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	wg.Wait()
+	if len(res.Evictions) != 1 {
+		t.Fatalf("expected 1 eviction, got %+v", res.Evictions)
+	}
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`rfl_phase_seconds_bucket{phase="join"`,
+		`rfl_phase_seconds_bucket{phase="broadcast"`,
+		`rfl_phase_seconds_bucket{phase="gather"`,
+		`rfl_phase_seconds_bucket{phase="delta_sync"`,
+		`rfl_round_seconds_count 3`,
+		`rfl_rounds_completed_total 3`,
+		`rfl_evictions_total 1`,
+		`rfl_round_retries_total`,
+		`rfl_bytes_sent_total{algo="rfedavg+"}`,
+		`rfl_bytes_received_total{algo="rfedavg+"}`,
+		`rfl_delta_staleness_age_bucket`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", body)
+	}
+	// The live-wire byte series must be nonzero: every broadcast shipped
+	// the full parameter vector.
+	if !regexpMatchNonzero(body, `rfl_bytes_sent_total{algo="rfedavg+"} `) {
+		t.Fatalf("bytes-sent series is zero:\n%s", body)
+	}
+}
+
+// regexpMatchNonzero reports whether the series line starting with prefix
+// carries a value other than "0".
+func regexpMatchNonzero(body, prefix string) bool {
+	i := strings.Index(body, prefix)
+	if i < 0 {
+		return false
+	}
+	rest := body[i+len(prefix):]
+	if j := strings.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[:j]
+	}
+	return strings.TrimSpace(rest) != "0"
 }

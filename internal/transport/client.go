@@ -50,7 +50,6 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 	}
 	net := cfg.Builder(cfg.ModelSeed)
 	localOpt := cfg.NewOptimizer()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	if err := conn.Send(&Message{Type: MsgJoin, ClientID: int32(cfg.ClientID), NumSamples: int64(shard.Len())}); err != nil {
 		return nil, err
@@ -68,6 +67,11 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 		case MsgAssign:
 			net.SetFlat(m.Params)
 			localOpt.Reset()
+			// Batch sampling is keyed to (Seed, round), not a session-long
+			// stream: a client that crashed and rejoined at round r draws
+			// the same mini-batches as one that never left, which keeps a
+			// resumed session bitwise-identical to an uninterrupted one.
+			rng := clientRoundRNG(cfg.Seed, m.Round)
 			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), m.Delta)
 			if err := conn.Send(&Message{
 				Type: MsgUpdate, Round: m.Round, ClientID: m.ClientID,
@@ -91,6 +95,13 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			return nil, fmt.Errorf("transport: unexpected message type %d", m.Type)
 		}
 	}
+}
+
+// clientRoundRNG derives the client's mini-batch stream for one round from
+// (Seed, round) — the client-side half of the resume-determinism contract
+// (same mixing constants as fl.roundRNG and the server's cohortRNG).
+func clientRoundRNG(seed int64, round int32) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(round)*7919 + 1))
 }
 
 // localSteps runs E local mini-batch steps, with the distribution

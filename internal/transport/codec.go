@@ -11,6 +11,19 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"repro/internal/telemetry"
+)
+
+// Process-wide codec byte counters on the default registry. They count real
+// framed traffic only — in-process Pipe conns bypass the codec (messages
+// are cloned, not encoded), so these series isolate what actually crossed a
+// socket, while the per-session rfl_bytes_* series also cover pipes.
+var (
+	codecBytesWritten = telemetry.Default().Counter("rfl_codec_bytes_written_total",
+		"bytes of framed protocol messages written to real connections")
+	codecBytesRead = telemetry.Default().Counter("rfl_codec_bytes_read_total",
+		"bytes of framed protocol messages read from real connections")
 )
 
 // MsgType discriminates protocol messages.
@@ -96,6 +109,7 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
+	codecBytesWritten.Add(int64(len(buf)))
 	return nil
 }
 
@@ -143,5 +157,6 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			off += 8
 		}
 	}
+	codecBytesRead.Add(int64(4 + body))
 	return m, nil
 }

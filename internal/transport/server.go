@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Algorithm selects the server-side aggregation protocol.
@@ -73,6 +74,15 @@ type ServerConfig struct {
 	// Logf receives eviction/rejoin/retry/checkpoint events
 	// (fmt.Printf-style); nil discards them.
 	Logf func(format string, args ...any)
+	// Metrics receives the session's telemetry: per-phase round-duration
+	// histograms, eviction/retry/rejoin counters, per-algorithm bytes on
+	// the wire, and the δ staleness-age histogram. Nil uses
+	// telemetry.Default(). Registration is idempotent, so many sessions
+	// may share one registry.
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives one JSONL line per lifecycle event
+	// (evict, rejoin, retry, checkpoint, resume, round).
+	Events *telemetry.EventLog
 }
 
 // Eviction records one client dropped from a session.
@@ -84,12 +94,25 @@ type Eviction struct {
 	Reason string
 }
 
+// RoundCohort records the participation mask of one successfully completed
+// live round. Checkpointed rounds of a resumed session are not replayed and
+// have no entry, which is what the resume-determinism regression test
+// exploits: the masks of a kill-and-resume run must line up exactly with
+// the same rounds of an uninterrupted run.
+type RoundCohort struct {
+	Round int
+	// Mask[i] reports whether client slot i was sampled into the cohort.
+	Mask []bool
+}
+
 // ServerResult summarizes a finished session.
 type ServerResult struct {
 	FinalParams []float64
 	// RoundLosses[c] is the weighted mean client loss of round c
 	// (including checkpointed rounds when resuming).
 	RoundLosses []float64
+	// Cohorts records each live round's sampled participation mask.
+	Cohorts []RoundCohort
 	// Evictions lists the clients dropped during the session, in order.
 	Evictions []Eviction
 	// Rejoins counts clients re-admitted through the Rejoin channel.
@@ -111,6 +134,7 @@ type session struct {
 	global     []float64
 	table      *core.DeltaTable
 	res        *ServerResult
+	metrics    *serverMetrics
 	lastFault  string
 	// pending holds handshaked rejoiners that arrived before their crashed
 	// predecessor's eviction surfaced; they are re-placed at every round
@@ -157,6 +181,7 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 		res:        &ServerResult{},
 	}
 	s.table.MaxStale = cfg.MaxStaleness
+	s.metrics = newServerMetrics(cfg.Metrics, cfg.Algorithm)
 	for i, c := range conns {
 		s.conns[i] = s.wrap(c)
 		s.active[i] = true
@@ -168,7 +193,10 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 
 	// Join phase: collect shard sizes; a client that fails its join is
 	// evicted rather than aborting everyone else's session.
-	if err := s.collectJoins(); err != nil {
+	joinSpan := telemetry.StartSpan(s.metrics.joinSec)
+	err := s.collectJoins()
+	joinSpan.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -179,20 +207,22 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 			return nil, err
 		}
 		s.logf("resumed from checkpoint at round %d", startRound)
+		s.event("resume", startRound, cfg.CheckpointPath)
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + 17))
 	attempts := 0
 	for round := startRound; round < cfg.Rounds; {
 		s.admitRejoins()
 		ok := s.activeCount() >= s.minClients || s.waitForQuorum()
 		if ok {
-			ok = s.runRound(rng, round)
+			ok = s.runRound(round)
 		}
 		if !ok {
 			attempts++
 			s.res.RetriedRounds++
+			s.metrics.retries.Inc()
 			s.logf("round %d attempt %d failed (quorum %d, %d active)", round, attempts, s.minClients, s.activeCount())
+			s.event("retry", round, s.lastFaultOr(""))
 			if attempts > maxRetries {
 				s.checkpoint(round) // leave a resumable state behind
 				s.closePending()
@@ -232,8 +262,11 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 	return s.res, nil
 }
 
-// wrap puts the deadline wrapper around a conn when deadlines are on.
+// wrap meters a conn into the session's byte series and puts the deadline
+// wrapper around it when deadlines are on. The metering wrapper goes inside
+// the DeadlineConn so sendCtx/recvCtx still see a *DeadlineConn.
 func (s *session) wrap(c Conn) Conn {
+	c = s.metrics.meter(c)
 	if s.cfg.RoundDeadline > 0 {
 		return NewDeadlineConn(c, s.cfg.RoundDeadline, s.cfg.RoundDeadline)
 	}
@@ -244,6 +277,11 @@ func (s *session) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
+}
+
+// event appends one line to the optional JSONL event log.
+func (s *session) event(event string, round int, detail string) {
+	s.cfg.Events.Emit(event, round, detail)
 }
 
 func (s *session) lastFaultOr(fallback string) string {
@@ -283,8 +321,10 @@ func (s *session) evict(i, round int, reason string) {
 	s.active[i] = false
 	s.conns[i].Close()
 	s.res.Evictions = append(s.res.Evictions, Eviction{Client: i, Round: round, Reason: reason})
+	s.metrics.evictions.Inc()
 	s.lastFault = fmt.Sprintf("client %d: %s", i, reason)
 	s.logf("evicted client %d (round %d): %s", i, round, reason)
+	s.event("evict", round, s.lastFault)
 }
 
 // collectJoins gathers the MsgJoin handshake from every initial client.
@@ -366,11 +406,16 @@ func (s *session) checkpoint(nextRound int) {
 			ck.DeltaAges[k] = s.table.Age(k)
 		}
 	}
-	if err := SaveCheckpoint(s.cfg.CheckpointPath, ck); err != nil {
+	span := telemetry.StartSpan(s.metrics.checkpointSec)
+	err := SaveCheckpoint(s.cfg.CheckpointPath, ck)
+	span.End()
+	if err != nil {
 		s.logf("checkpoint at round %d failed (ignored): %v", nextRound, err)
 		return
 	}
+	s.metrics.checkpoints.Inc()
 	s.logf("checkpoint at round %d → %s", nextRound, s.cfg.CheckpointPath)
+	s.event("checkpoint", nextRound, s.cfg.CheckpointPath)
 }
 
 // closePending closes rejoiners that never found a slot, so their clients
@@ -474,19 +519,30 @@ func (s *session) place(p pendingJoin) {
 	s.active[slot] = true
 	s.samples[slot] = float64(p.join.NumSamples)
 	s.res.Rejoins++
+	s.metrics.rejoins.Inc()
 	s.logf("client rejoined into slot %d (%d samples, δ age %d)", slot, p.join.NumSamples, s.table.Age(slot))
+	s.event("rejoin", -1, fmt.Sprintf("slot %d", slot))
 }
 
 // runRound attempts one full round over the currently active clients.
 // It returns false — leaving the global model untouched — when fewer than
 // MinClients valid updates arrive (satisfying quorum is the caller's
 // retry loop's job). Faulty clients are evicted along the way.
-func (s *session) runRound(rng *rand.Rand, round int) bool {
+//
+// The cohort RNG is re-derived from (Seed, round) at every attempt: a
+// resumed server samples the same cohorts at round r as one that never
+// died, and a retried attempt re-samples the same cohort instead of
+// silently consuming extra draws and perturbing every later round.
+func (s *session) runRound(round int) bool {
+	roundSpan := telemetry.StartSpan(s.metrics.roundSec)
+	defer roundSpan.End()
+
 	plus := s.cfg.Algorithm == AlgoRFedAvgPlus
-	cohort := sampleCohortActive(rng, s.active, s.cfg.SampleRatio)
+	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), s.active, s.cfg.SampleRatio)
 
 	// Sync #1: assign work to the cohort; skip everyone else.
 	ctx, cancel := s.phaseCtx()
+	bSpan := telemetry.StartSpan(s.metrics.broadcastSec)
 	s.broadcastActive(ctx, round, func(i int) *Message {
 		if !cohort[i] {
 			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
@@ -497,7 +553,10 @@ func (s *session) runRound(rng *rand.Rand, round int) bool {
 		}
 		return m
 	})
+	bSpan.End()
+	gSpan := telemetry.StartSpan(s.metrics.gatherSec)
 	updates := s.gatherActive(ctx, round, cohort, MsgUpdate)
+	gSpan.End()
 	cancel()
 
 	// Validate before aggregating: a single NaN/Inf in params or loss
@@ -555,6 +614,7 @@ func (s *session) runRound(rng *rand.Rand, round int) bool {
 	// A client lost here keeps its previous (now stale) row — the
 	// δ-staleness fallback — instead of failing the round.
 	if plus {
+		dSpan := telemetry.StartSpan(s.metrics.deltaSyncSec)
 		ctx2, cancel2 := s.phaseCtx()
 		s.broadcastActive(ctx2, round, func(i int) *Message {
 			if !delivered[i] {
@@ -577,9 +637,26 @@ func (s *session) runRound(rng *rand.Rand, round int) bool {
 				s.table.Set(i, m.Delta)
 			}
 		}
-		s.table.Tick()
+		dSpan.End()
 	}
+	// Age the δ table once per *successful* round for both algorithms.
+	// Previously this ran only under rFedAvg+, leaving MaxStaleness dead
+	// for plain FedAvg sessions: rows never aged, so the staleness bound
+	// was silently ignored outside the plus branch.
+	s.table.Tick()
+	s.metrics.observeDeltaAges(s.table, s.cfg.MaxStaleness)
+
+	s.res.Cohorts = append(s.res.Cohorts, RoundCohort{Round: round, Mask: cohort})
+	s.metrics.rounds.Inc()
 	return true
+}
+
+// cohortRNG derives the round's cohort-sampling stream from (seed, round)
+// alone, so resumed sessions and retried round attempts reproduce the exact
+// cohort an uninterrupted run would sample (same mixing constants as
+// fl.roundRNG).
+func cohortRNG(seed int64, round int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(round)*7919 + 17))
 }
 
 // broadcastActive sends mk(i) to every active connection concurrently;
