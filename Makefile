@@ -1,8 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-race telemetry-smoke bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
+.PHONY: all ci build vet test test-race telemetry-smoke bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
+
+# The full CI gate, in dependency order: static checks and unit tests, the
+# race pass, the observability smoke (metrics scrape + trace/ledger
+# validation), the decoder fuzz pass, and the hot-path benchmark regression
+# gate.
+ci: vet test test-race telemetry-smoke fuzz-short bench-compare
 
 build:
 	go build ./...
@@ -24,8 +30,18 @@ test-race:
 # Smoke-test the observability surface: run a short in-process federated
 # session against a fresh registry, scrape /metrics over HTTP, and fail if
 # any core series (phase histograms, fault counters, byte series) is gone.
+# Then run a traced flsim and validate the trace + ledger files end to end:
+# fltrace fails when either file is empty or any line is not valid JSON.
 telemetry-smoke:
 	go run ./cmd/flbench -telemetry-smoke
+	@tmp=$$(mktemp -d) && \
+	go run ./cmd/flsim -dataset mnist -method rfedavg+ -clients 4 -rounds 2 \
+		-e 2 -b 16 -train 400 -test 100 \
+		-trace $$tmp/trace.jsonl -ledger $$tmp/ledger.jsonl >/dev/null && \
+	test -s $$tmp/trace.jsonl && test -s $$tmp/ledger.jsonl && \
+	go run ./cmd/fltrace -trace $$tmp/trace.jsonl -ledger $$tmp/ledger.jsonl >/dev/null && \
+	go run ./cmd/fltrace -ledger $$tmp/ledger.jsonl >/dev/null && \
+	rm -rf $$tmp && echo "trace/ledger smoke passed"
 
 # The full benchmark harness: one testing.B benchmark per paper table and
 # figure plus ablations and micro-benchmarks.

@@ -33,6 +33,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cliflags"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -48,7 +49,7 @@ func main() {
 		benchJSON = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
 		benchCmp  = flag.String("bench-compare", "", "compare two bench JSON records given as PREV,CUR; exit 1 on >10% ns/op regression")
 		smoke     = flag.Bool("telemetry-smoke", false, "run a short instrumented session, scrape /metrics, and fail on missing core series")
-		showTelem = flag.Bool("telemetry", false, "print the process metric registry after the run")
+		showTelem = cliflags.Summary()
 	)
 	flag.Parse()
 

@@ -16,6 +16,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -40,9 +41,14 @@ func main() {
 		dataSeed   = flag.Int64("dataseed", 1, "data-generation seed (must match other clients)")
 		retries    = flag.Int("retries", 0, "re-dial and rejoin this many times after a connection failure")
 		backoff    = flag.Duration("backoff", 2*time.Second, "wait between rejoin attempts")
-		showTelem  = flag.Bool("telemetry", false, "print the process metric registry after the session")
+		showTelem  = cliflags.Summary()
+		obs        = cliflags.Register(true, true, false)
 	)
 	flag.Parse()
+	if err := obs.Open(); err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(1)
+	}
 	if *shard < 0 || *shard >= *of {
 		fmt.Fprintf(os.Stderr, "flclient: shard %d outside [0, %d)\n", *shard, *of)
 		os.Exit(2)
@@ -95,6 +101,8 @@ func main() {
 		LR:           opt.ConstLR(*lr),
 		NewOptimizer: newOpt,
 		Lambda:       *lambda,
+		Tracer:       obs.Tracer,
+		Events:       obs.Events,
 	}
 
 	// Dial-and-train with a rejoin loop: on a mid-session connection
@@ -109,6 +117,7 @@ func main() {
 				fmt.Printf("done: received final model (%d params); sent %s, received %s\n",
 					len(final), fmtBytes(conn.BytesSent()), fmtBytes(conn.BytesReceived()))
 				conn.Close()
+				obs.Close()
 				if *showTelem {
 					fmt.Println("telemetry summary:")
 					telemetry.Default().WriteSummary(os.Stdout)
@@ -118,6 +127,7 @@ func main() {
 			conn.Close()
 		}
 		if attempt >= *retries {
+			obs.Close()
 			fmt.Fprintln(os.Stderr, "flclient:", err)
 			os.Exit(1)
 		}

@@ -23,7 +23,10 @@
 // probe at /healthz, and the standard pprof endpoints under /debug/pprof/.
 // -events appends one JSON line per lifecycle event (evict, rejoin, retry,
 // checkpoint, resume) to a file, and the registry summary prints when the
-// session ends.
+// session ends. -trace writes identified spans for every round (server
+// phases and, via span contexts carried in the frame headers, the clients'
+// local work) and -ledger one training-dynamics record per round attempt;
+// render both with cmd/fltrace.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cliflags"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/telemetry"
@@ -61,9 +65,14 @@ func main() {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
-		eventsPath    = flag.String("events", "", "append JSONL lifecycle events (evict/rejoin/retry/checkpoint/resume) to this file")
+		obs           = cliflags.Register(true, true, true)
 	)
 	flag.Parse()
+	if err := obs.Open(); err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(1)
+	}
+	defer obs.Close()
 
 	if *telemetryAddr != "" {
 		ts, err := telemetry.ListenAndServe(*telemetryAddr, nil)
@@ -135,15 +144,9 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Printf("[fault] "+format+"\n", args...)
 		},
-	}
-	if *eventsPath != "" {
-		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "flserver: events:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		cfg.Events = telemetry.NewEventLog(f)
+		Events: obs.Events,
+		Tracer: obs.Tracer,
+		Ledger: obs.Ledger,
 	}
 	if *resume && *ckptPath != "" {
 		if ck, err := transport.LoadCheckpoint(*ckptPath); err == nil {
@@ -157,6 +160,7 @@ func main() {
 
 	res, err := transport.Serve(cfg, conns)
 	if err != nil {
+		obs.Close()
 		fmt.Fprintln(os.Stderr, "flserver:", err)
 		os.Exit(1)
 	}

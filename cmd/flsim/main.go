@@ -7,6 +7,12 @@
 //	flsim -dataset cifar -method rfedavg+ -clients 20 -rounds 30 \
 //	      -e 5 -b 50 -sr 1.0 -sim 0 -lambda 5e-3
 //	flsim -dataset sent140 -method fedavg -natural -clients 20 -rounds 10
+//
+// Observability: -trace writes the run's span tree (session → round →
+// client_round → local_steps/mmd_grad) and -ledger one training-dynamics
+// record per round (loss, per-client losses and update norms, the pairwise
+// MMD matrix under rfedavg/rfedavg+, wire bytes); render both with
+// cmd/fltrace. -events logs lifecycle events as JSONL.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/fl"
@@ -45,9 +52,15 @@ func main() {
 		testN      = flag.Int("test", 800, "test samples (image datasets)")
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		seed       = flag.Int64("seed", 1, "random seed")
-		showTelem  = flag.Bool("telemetry", false, "print the process metric registry after the run")
+		showTelem  = cliflags.Summary()
+		obs        = cliflags.Register(true, true, true)
 	)
 	flag.Parse()
+	if err := obs.Open(); err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(1)
+	}
+	defer obs.Close()
 
 	train, test, builder, defLR, newOpt, err := makeData(*dataset, *trainN, *testN, *clients, *featureDim, *seed)
 	if err != nil {
@@ -83,6 +96,9 @@ func main() {
 		SampleRatio:  *sr,
 		LR:           opt.ConstLR(*lr),
 		NewOptimizer: newOpt,
+		Tracer:       obs.Tracer,
+		Ledger:       obs.Ledger,
+		Events:       obs.Events,
 	}
 	f := fl.NewFederation(cfg, shards, test)
 

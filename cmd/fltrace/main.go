@@ -1,0 +1,92 @@
+// Command fltrace renders the trace and run-ledger files that flsim and
+// flserver write (-trace / -ledger) into human-readable reports:
+//
+//   - With -trace: one ASCII waterfall per round, every span in the round's
+//     subtree drawn as a time-proportional bar. The critical path — the
+//     chain of spans the round's wall time actually waited on — is marked
+//     with '#' bars, and a straggler line names the client the round
+//     blocked on. -ledger additionally annotates each round header with
+//     loss and wire bytes.
+//   - With -ledger alone: a per-round summary table (loss, duration, wire
+//     volume, cohort size, mean pairwise MMD, staleness, faults).
+//   - With -ledger and -compare: a side-by-side comparison of two runs,
+//     per-round wire bytes and MMD trajectory — the Table III view of
+//     rFedAvg vs rFedAvg+.
+//
+// Example:
+//
+//	flsim -algos rfedavg+ -trace t.jsonl -ledger a.jsonl
+//	fltrace -trace t.jsonl -ledger a.jsonl
+//	flsim -algos rfedavg -ledger b.jsonl
+//	fltrace -ledger a.jsonl -compare b.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/traceview"
+)
+
+func main() {
+	var (
+		tracePath  = flag.String("trace", "", "trace JSONL file to render as per-round waterfalls")
+		ledgerPath = flag.String("ledger", "", "run-ledger JSONL file (summary table, or waterfall annotations with -trace)")
+		compare    = flag.String("compare", "", "second run-ledger JSONL file to compare against -ledger")
+		width      = flag.Int("width", 64, "waterfall bar area width in columns")
+	)
+	flag.Parse()
+
+	if *tracePath == "" && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "fltrace: need -trace and/or -ledger (see -h)")
+		os.Exit(2)
+	}
+	if *compare != "" && *ledgerPath == "" {
+		fmt.Fprintln(os.Stderr, "fltrace: -compare needs -ledger as the first run")
+		os.Exit(2)
+	}
+
+	var ledger []traceview.LedgerLine
+	if *ledgerPath != "" {
+		var err error
+		ledger, err = traceview.ReadLedgerFile(*ledgerPath)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	switch {
+	case *tracePath != "":
+		spans, err := traceview.ReadSpansFile(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := traceview.Waterfall(os.Stdout, spans, ledger, *width); err != nil {
+			fail(err)
+		}
+		if *compare != "" {
+			fmt.Println()
+		}
+		fallthrough
+	case *compare != "":
+		if *compare != "" {
+			other, err := traceview.ReadLedgerFile(*compare)
+			if err != nil {
+				fail(err)
+			}
+			if err := traceview.Compare(os.Stdout, ledger, other); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		if err := traceview.Summary(os.Stdout, ledger); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fltrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Package cliflags registers the observability flags shared by the fl
+// binaries (flserver, flclient, flsim, flbench) so that every command
+// documents them identically in -h and opens the underlying files the same
+// way. Each binary opts into the subset of sinks it can feed; the flag
+// names and help strings are defined once here.
+package cliflags
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/telemetry"
+)
+
+// Shared help strings — the single source of the -h wording.
+const (
+	eventsHelp  = "append JSONL lifecycle events (join/skip/done, evict/rejoin/retry/checkpoint/resume) to this file"
+	traceHelp   = "write JSONL trace spans (session/round/per-client phases) to this file; render with fltrace -trace"
+	ledgerHelp  = "write one JSONL training-dynamics record per round to this file; render with fltrace -ledger"
+	summaryHelp = "print the process metric registry summary after the run"
+)
+
+// Telemetry holds the observability flags a binary registered and, after
+// Open, the corresponding sinks. Sinks whose flag was not registered or was
+// left empty stay nil, which every consumer treats as "disabled".
+type Telemetry struct {
+	eventsPath, tracePath, ledgerPath *string
+
+	Events *telemetry.EventLog
+	Tracer *telemetry.Tracer
+	Ledger *telemetry.RunLedger
+
+	files   []*os.File
+	buffers []*bufio.Writer
+}
+
+// Register installs the requested subset of the shared -events, -trace, and
+// -ledger flags on the default flag set. Call Open after flag.Parse.
+func Register(events, trace, ledger bool) *Telemetry {
+	t := &Telemetry{}
+	if events {
+		t.eventsPath = flag.String("events", "", eventsHelp)
+	}
+	if trace {
+		t.tracePath = flag.String("trace", "", traceHelp)
+	}
+	if ledger {
+		t.ledgerPath = flag.String("ledger", "", ledgerHelp)
+	}
+	return t
+}
+
+// Summary installs the shared -telemetry flag.
+func Summary() *bool {
+	return flag.Bool("telemetry", false, summaryHelp)
+}
+
+// Open creates the sinks for every flag that was set. The events log is
+// unbuffered append (it must survive a crash and accumulate across
+// restarts); trace and ledger files are truncated per run and buffered,
+// flushed by Close.
+func (t *Telemetry) Open() error {
+	if t.eventsPath != nil && *t.eventsPath != "" {
+		f, err := os.OpenFile(*t.eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		t.files = append(t.files, f)
+		t.Events = telemetry.NewEventLog(f)
+	}
+	if t.tracePath != nil && *t.tracePath != "" {
+		f, err := os.Create(*t.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		b := bufio.NewWriter(f)
+		t.files = append(t.files, f)
+		t.buffers = append(t.buffers, b)
+		t.Tracer = telemetry.NewTracer(b)
+	}
+	if t.ledgerPath != nil && *t.ledgerPath != "" {
+		f, err := os.Create(*t.ledgerPath)
+		if err != nil {
+			return fmt.Errorf("ledger: %w", err)
+		}
+		b := bufio.NewWriter(f)
+		t.files = append(t.files, f)
+		t.buffers = append(t.buffers, b)
+		t.Ledger = telemetry.NewRunLedger(b)
+	}
+	return nil
+}
+
+// Close flushes the buffered sinks and closes every opened file.
+func (t *Telemetry) Close() error {
+	var first error
+	for _, b := range t.buffers {
+		if err := b.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, f := range t.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -127,6 +127,45 @@ func TestDeltaTable(t *testing.T) {
 	}
 }
 
+func TestPairwiseMMDInto(t *testing.T) {
+	tab := NewDeltaTable(3, 2)
+	tab.Set(0, []float64{1, 0})
+	tab.Set(1, []float64{4, 4}) // ‖(1,0)-(4,4)‖ = 5
+	tab.Set(2, []float64{1, 0}) // identical to row 0
+
+	m := tab.PairwiseMMDInto(nil)
+	if len(m) != 9 {
+		t.Fatalf("matrix length %d, want 9", len(m))
+	}
+	for i := 0; i < 3; i++ {
+		if m[i*3+i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, m[i*3+i])
+		}
+		for j := 0; j < 3; j++ {
+			if m[i*3+j] != m[j*3+i] {
+				t.Errorf("asymmetric at (%d,%d): %v vs %v", i, j, m[i*3+j], m[j*3+i])
+			}
+		}
+	}
+	if math.Abs(m[0*3+1]-5) > 1e-12 {
+		t.Errorf("m[0][1] = %v, want 5", m[0*3+1])
+	}
+	if m[0*3+2] != 0 {
+		t.Errorf("m[0][2] = %v, want 0 (identical maps)", m[0*3+2])
+	}
+	// Entries must agree with the scalar MMD helper.
+	if want := math.Sqrt(MMDSquaredMeans(tab.Get(1), tab.Get(2))); math.Abs(m[1*3+2]-want) > 1e-12 {
+		t.Errorf("m[1][2] = %v, want %v", m[1*3+2], want)
+	}
+
+	// A preallocated buffer of sufficient capacity is reused, not regrown.
+	buf := make([]float64, 0, 9)
+	out := tab.PairwiseMMDInto(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Error("PairwiseMMDInto reallocated despite sufficient capacity")
+	}
+}
+
 // With MaxStale set, rows whose age exceeds the bound drop out of the
 // δ̄^{-k} target, and the mean renormalizes over the fresh contributors.
 func TestDeltaTableStalenessFallback(t *testing.T) {

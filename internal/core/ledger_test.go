@@ -1,0 +1,178 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/telemetry"
+)
+
+// These tests pin the regularized algorithms' side of the run ledger: the
+// pairwise MMD matrix lands in each round's record, the δ recomputation is
+// traced, and — the paper's Table III claim — the ledger's byte accounting
+// shows rFedAvg scaling as O(dN²) while rFedAvg+ stays O(dN).
+
+type coreLedgerLine struct {
+	Algo      string    `json:"algo"`
+	Round     int       `json:"round"`
+	DownBytes int64     `json:"down_bytes"`
+	UpBytes   int64     `json:"up_bytes"`
+	MMDDim    int       `json:"mmd_dim"`
+	MMD       []float64 `json:"mmd"`
+}
+
+func decodeCoreLedger(t *testing.T, buf *bytes.Buffer) []coreLedgerLine {
+	t.Helper()
+	var lines []coreLedgerLine
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var l coreLedgerLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("ledger line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// ledgerFederation is tinyFederation with observability sinks attached.
+func ledgerFederation(t *testing.T, clients int, tracer *telemetry.Tracer, ledger *telemetry.RunLedger) *fl.Federation {
+	t.Helper()
+	train := data.SynthMNIST(40*clients, 1)
+	rng := rand.New(rand.NewSource(3))
+	parts := data.PartitionBySimilarity(train.Y, clients, 0, rng)
+	shards := make([]*data.Dataset, clients)
+	for k, idx := range parts {
+		shards[k] = train.Subset(idx)
+	}
+	cfg := fl.Config{
+		Builder:    nn.NewMLP(train.Features(), 32, 16, train.Classes),
+		ModelSeed:  7,
+		Seed:       11,
+		LocalSteps: 1,
+		BatchSize:  10,
+		LR:         opt.ConstLR(0.1),
+		Tracer:     tracer,
+		Ledger:     ledger,
+	}
+	return fl.NewFederation(cfg, shards, nil)
+}
+
+func TestSimLedgerRecordsMMDAndDeltaSpans(t *testing.T) {
+	const clients, rounds = 4, 2
+	var traceBuf, ledgerBuf bytes.Buffer
+	f := ledgerFederation(t, clients, telemetry.NewTracer(&traceBuf), telemetry.NewRunLedger(&ledgerBuf))
+	fl.Run(f, NewRFedAvgPlus(1e-3), rounds)
+
+	lines := decodeCoreLedger(t, &ledgerBuf)
+	if len(lines) != rounds {
+		t.Fatalf("got %d ledger lines, want %d", len(lines), rounds)
+	}
+	for i, l := range lines {
+		if l.Algo != "rFedAvg+" || l.Round != i {
+			t.Errorf("line %d identity: %+v", i, l)
+		}
+		if l.MMDDim != clients || len(l.MMD) != clients*clients {
+			t.Fatalf("line %d MMD matrix: dim=%d len=%d", i, l.MMDDim, len(l.MMD))
+		}
+		for a := 0; a < clients; a++ {
+			if l.MMD[a*clients+a] != 0 {
+				t.Errorf("line %d MMD diagonal [%d] = %v", i, a, l.MMD[a*clients+a])
+			}
+			for b := 0; b < clients; b++ {
+				if l.MMD[a*clients+b] != l.MMD[b*clients+a] {
+					t.Errorf("line %d MMD not symmetric at (%d,%d)", i, a, b)
+				}
+			}
+		}
+	}
+	// Round 1 trains against round 0's refreshed maps: the matrix must have
+	// non-zero off-diagonal mass once the table is populated.
+	mass := 0.0
+	last := lines[rounds-1]
+	for _, v := range last.MMD {
+		mass += v
+	}
+	if mass <= 0 {
+		t.Error("populated δ table produced an all-zero MMD matrix")
+	}
+
+	counts := map[string]int{}
+	sc := bufio.NewScanner(&traceBuf)
+	for sc.Scan() {
+		var s struct {
+			Name string `json:"name"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		counts[s.Name]++
+	}
+	if counts["compute_delta"] != rounds*clients {
+		t.Errorf("got %d compute_delta spans, want %d", counts["compute_delta"], rounds*clients)
+	}
+	if counts["mmd_grad"] == 0 {
+		t.Error("no mmd_grad spans from regularized local steps")
+	}
+	// rFedAvg+'s double synchronization maps each client twice per round.
+	if counts["client_round"] != 2*rounds*clients {
+		t.Errorf("got %d client_round spans, want %d", counts["client_round"], 2*rounds*clients)
+	}
+}
+
+// TestLedgerBytesScalingMatchesTableIII reads per-round wire volume out of
+// the run ledger for N ∈ {4, 8, 16} and checks the asymptotics the paper
+// claims: subtracting the model-broadcast baseline N·PayloadBytes(P) shared
+// by every algorithm, rFedAvg's remaining download is N·PayloadBytes(N·d) —
+// quadrupling when N doubles (O(dN²)) — while rFedAvg+'s remainder is
+// N·(PayloadBytes(P)+PayloadBytes(d)), which only doubles (O(dN)).
+func TestLedgerBytesScalingMatchesTableIII(t *testing.T) {
+	downFor := func(alg fl.Algorithm, clients int) (down, baseline int64) {
+		var buf bytes.Buffer
+		f := ledgerFederation(t, clients, nil, telemetry.NewRunLedger(&buf))
+		fl.Run(f, alg, 1)
+		lines := decodeCoreLedger(t, &buf)
+		if len(lines) != 1 {
+			t.Fatalf("got %d ledger lines, want 1", len(lines))
+		}
+		return lines[0].DownBytes, int64(clients) * fl.PayloadBytes(f.NumParams())
+	}
+
+	sizes := []int{4, 8, 16}
+	extra := func(mk func() fl.Algorithm) []float64 {
+		out := make([]float64, len(sizes))
+		for i, n := range sizes {
+			down, base := downFor(mk(), n)
+			if down <= base {
+				t.Fatalf("N=%d: download %d not above model baseline %d", n, down, base)
+			}
+			out[i] = float64(down - base)
+		}
+		return out
+	}
+
+	quad := extra(func() fl.Algorithm { return NewRFedAvg(1e-3) })
+	lin := extra(func() fl.Algorithm { return NewRFedAvgPlus(1e-3) })
+
+	for i := 1; i < len(sizes); i++ {
+		r := quad[i] / quad[i-1]
+		if r < 3.5 || r > 4.1 {
+			t.Errorf("rFedAvg extra download ratio N=%d/N=%d is %.2f, want ~4 (O(dN²))",
+				sizes[i], sizes[i-1], r)
+		}
+	}
+	for i := 1; i < len(sizes); i++ {
+		r := lin[i] / lin[i-1]
+		if r < 1.9 || r > 2.1 {
+			t.Errorf("rFedAvg+ extra download ratio N=%d/N=%d is %.2f, want ~2 (O(dN))",
+				sizes[i], sizes[i-1], r)
+		}
+	}
+}

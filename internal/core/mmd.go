@@ -272,3 +272,25 @@ func (t *DeltaTable) PairwiseObjective(k int) float64 {
 func (t *DeltaTable) TightObjective(k int) float64 {
 	return MMDSquaredMeans(t.rows[k], t.MeanExcluding(k))
 }
+
+// PairwiseMMDInto fills dst (row-major N×N, regrown only if too small) with
+// the empirical MMD matrix of the current table: dst[i·N+j] = ‖δ^i - δ^j‖,
+// the quantity the regularizer of Eq. (5) drives toward zero. The matrix is
+// symmetric with a zero diagonal; both triangles are filled so consumers
+// can index either way. Staleness is deliberately ignored — the ledger
+// records the distances of the maps as stored, ages and all.
+func (t *DeltaTable) PairwiseMMDInto(dst []float64) []float64 {
+	n := t.N
+	if cap(dst) < n*n {
+		dst = make([]float64, n*n)
+	}
+	dst = dst[:n*n]
+	for i := 0; i < n; i++ {
+		dst[i*n+i] = 0
+		for j := i + 1; j < n; j++ {
+			d := math.Sqrt(MMDSquaredMeans(t.rows[i], t.rows[j]))
+			dst[i*n+j], dst[j*n+i] = d, d
+		}
+	}
+	return dst
+}

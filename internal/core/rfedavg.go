@@ -53,6 +53,9 @@ func (a *RFedAvg) GlobalParams() []float64 { return a.global }
 // Table exposes the server's δ table (read-only use in tests/experiments).
 func (a *RFedAvg) Table() *DeltaTable { return a.table }
 
+// PairwiseMMDInto implements fl.MMDReporter over the server's δ table.
+func (a *RFedAvg) PairwiseMMDInto(dst []float64) []float64 { return a.table.PairwiseMMDInto(dst) }
+
 // Round runs one rFedAvg communication round (lines 3–13 of Algorithm 1).
 func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	f := a.f
@@ -79,7 +82,10 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 		// turn: the server stores it after the round), but the gather
 		// buffers behind it come from the arena.
 		delta := make([]float64, d)
+		cd := f.Cfg.Tracer.Start("compute_delta", w.SpanContext())
+		cd.Round, cd.Client = round, c.ID
 		ComputeDeltaInto(delta, w.Arena(), w.Net(), c.Data, a.DeltaBatch)
+		cd.End()
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}
@@ -87,6 +93,7 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	})
 
 	// Lines 12–13: aggregate models, refresh the sampled clients' rows.
+	norms := fl.UpdateNorms(a.global, outs)
 	a.global = fl.WeightedAverage(outs)
 	for _, out := range outs {
 		a.table.Set(out.Client.ID, out.Aux)
@@ -99,6 +106,7 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	return fl.RoundResult{
 		TrainLoss:    fl.MeanLoss(outs),
 		ClientLosses: fl.LossMap(outs),
+		ClientNorms:  norms,
 		// Down: model + the N·d table, per sampled client.
 		DownBytes: p * (fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(n*d)),
 		// Up: model + own map.

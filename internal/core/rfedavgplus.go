@@ -66,6 +66,11 @@ func (a *RFedAvgPlus) GlobalParams() []float64 { return a.global }
 // Table exposes the server's δ table (read-only use in tests/experiments).
 func (a *RFedAvgPlus) Table() *DeltaTable { return a.table }
 
+// PairwiseMMDInto implements fl.MMDReporter over the server's δ table.
+func (a *RFedAvgPlus) PairwiseMMDInto(dst []float64) []float64 {
+	return a.table.PairwiseMMDInto(dst)
+}
+
 // Round runs one rFedAvg+ communication round (lines 4–18 of Algorithm 2).
 func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	f := a.f
@@ -85,6 +90,7 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		loss := f.LocalTrain(w, c, rng, o)
 		return fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
 	})
+	norms := fl.UpdateNorms(a.global, outs)
 	a.global = fl.WeightedAverage(outs)
 
 	// Second communication (lines 13–16): the server sends the *new global*
@@ -93,7 +99,10 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	deltaOuts := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
 		w.Net().SetFlat(newGlobal)
 		delta := make([]float64, f.FeatureDim())
+		cd := f.Cfg.Tracer.Start("compute_delta", w.SpanContext())
+		cd.Round, cd.Client = round, c.ID
 		ComputeDeltaInto(delta, w.Arena(), w.Net(), c.Data, a.DeltaBatch)
+		cd.End()
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}
@@ -115,6 +124,7 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	return fl.RoundResult{
 		TrainLoss:    fl.MeanLoss(outs),
 		ClientLosses: fl.LossMap(outs),
+		ClientNorms:  norms,
 		// Down: (model + average map) in sync #1, model again in sync #2.
 		DownBytes: p * (2*fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
 		// Up: model in sync #1, own map in sync #2.

@@ -33,11 +33,13 @@ func (a *FedAvg) Round(round int, sampled []int) RoundResult {
 		loss := f.LocalTrain(w, c, rng, f.DefaultLocalOpts(round))
 		return ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
 	})
+	norms := UpdateNorms(a.global, outs)
 	a.global = WeightedAverage(outs)
 	p := int64(len(sampled))
 	return RoundResult{
 		TrainLoss:    MeanLoss(outs),
 		ClientLosses: LossMap(outs),
+		ClientNorms:  norms,
 		DownBytes:    p * PayloadBytes(f.NumParams()),
 		UpBytes:      p * PayloadBytes(f.NumParams()),
 	}

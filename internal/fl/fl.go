@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -46,6 +47,18 @@ type Config struct {
 	// Sampler selects each round's cohort; nil means UniformSampler (the
 	// paper's setting).
 	Sampler Sampler
+
+	// Tracer, when non-nil, records identified spans for the simulation
+	// (session → round → client_round → local_steps/mmd_grad, plus
+	// algorithm-added spans like compute_delta) to a JSONL trace file —
+	// the same span tree the transport deployment produces.
+	Tracer *telemetry.Tracer
+	// Ledger, when non-nil, receives one training-dynamics line per round
+	// (loss, per-client losses/update norms, the pairwise MMD matrix when
+	// the algorithm maintains a δ table, and the accounted wire bytes).
+	Ledger *telemetry.RunLedger
+	// Events, when non-nil, receives one JSONL line per lifecycle event.
+	Events *telemetry.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -97,13 +110,29 @@ type Federation struct {
 
 	workers   []*Worker
 	numParams int
+
+	// roundCtx is the current round span's context; MapClients parents
+	// client_round spans to it. Set by Run between rounds (never during a
+	// pooled phase, so workers read it race-free).
+	roundCtx telemetry.SpanContext
+	// rec is the reused ledger record; its slices are refilled each round.
+	rec telemetry.RoundRecord
 }
 
 type Worker struct {
 	net      *nn.Network
 	localOpt opt.Optimizer
 	arena    *nn.Arena // scratch for batches, loss gradients, δ maps
+	// spanCtx is the worker's current client_round span, the parent for
+	// spans started inside the client's local work. Like net and arena it
+	// is single-goroutine: only the worker's own task touches it.
+	spanCtx telemetry.SpanContext
 }
+
+// SpanContext returns the worker's current client_round span context, the
+// parent algorithm implementations should use for their own spans (δ
+// recomputation, compression, …). Zero when tracing is off.
+func (w *Worker) SpanContext() telemetry.SpanContext { return w.spanCtx }
 
 // NewFederation builds a federation from per-client shards. Weights follow
 // shard sizes.
@@ -203,7 +232,11 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 			defer wg.Done()
 			for ti := range tasks {
 				c := f.Clients[sampled[ti]]
+				cr := f.Cfg.Tracer.Start("client_round", f.roundCtx)
+				cr.Round, cr.Client = round, c.ID
+				w.spanCtx = cr.Context()
 				outs[ti] = work(w, c, f.roundRNG(round, c.ID))
+				cr.End()
 			}
 		}(w)
 	}
@@ -260,6 +293,8 @@ type LocalOpts struct {
 // and returns the mean training loss. This is lines 6–9 of Algorithms 1–2
 // and the local loop of every baseline.
 func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpts) float64 {
+	ls := f.Cfg.Tracer.Start("local_steps", w.spanCtx)
+	ls.Round, ls.Client = o.Round, c.ID
 	params := w.net.Params()
 	totalLoss := 0.0
 	samples := 0
@@ -279,7 +314,10 @@ func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpt
 		case o.FeatGradX != nil:
 			dfeat = o.FeatGradX(x, w.net.LastFeatures())
 		case o.FeatGrad != nil:
+			mg := f.Cfg.Tracer.Start("mmd_grad", ls.Context())
+			mg.Round, mg.Client = o.Round, c.ID
 			dfeat = o.FeatGrad(w.net.LastFeatures())
+			mg.End()
 		}
 		w.net.ZeroGrad()
 		w.net.Backward(dlogits, dfeat)
@@ -290,6 +328,7 @@ func (f *Federation) LocalTrain(w *Worker, c *Client, rng *rand.Rand, o LocalOpt
 	}
 	localSteps.Add(int64(o.E))
 	trainSamples.Add(int64(samples))
+	ls.End()
 	return totalLoss / float64(o.E)
 }
 
@@ -470,6 +509,10 @@ type RoundResult struct {
 	// ClientLosses holds each participating client's mean local training
 	// loss, consumed by loss-adaptive samplers.
 	ClientLosses map[int]float64
+	// ClientNorms holds each participating client's update norm
+	// ‖w_k − w_global‖₂ relative to the round's starting model, a drift
+	// signal the run ledger records. Algorithms may leave it nil.
+	ClientNorms map[int]float64
 }
 
 // LossMap collects per-client losses from client outputs.
@@ -481,19 +524,57 @@ func LossMap(outs []ClientOut) map[int]float64 {
 	return m
 }
 
+// UpdateNorms computes each reporting client's update norm ‖w_k − w‖₂
+// against the round's starting global model w. Callers must invoke it
+// before overwriting the global with the new aggregate.
+func UpdateNorms(global []float64, outs []ClientOut) map[int]float64 {
+	m := make(map[int]float64, len(outs))
+	for _, o := range outs {
+		if o.Params == nil {
+			continue
+		}
+		s := 0.0
+		for i, v := range o.Params {
+			d := v - global[i]
+			s += d * d
+		}
+		m[o.Client.ID] = math.Sqrt(s)
+	}
+	return m
+}
+
+// MMDReporter is implemented by algorithms that maintain a server-side δ
+// table (rFedAvg, rFedAvg+) and can report the pairwise MMD matrix the
+// regularizer is shrinking. dst is reused when it has capacity; the returned
+// slice is row-major N×N.
+type MMDReporter interface {
+	PairwiseMMDInto(dst []float64) []float64
+}
+
 // PayloadBytes is the wire size of a message carrying n float64 values
 // under the transport codec (8 bytes per value plus framing). Table III and
 // Fig. 10's communication numbers are computed with this.
 func PayloadBytes(nFloats int) int64 { return int64(8*nFloats) + 24 }
 
-// Run executes rounds of alg over f, recording metrics per round.
+// Run executes rounds of alg over f, recording metrics per round. With a
+// Tracer configured it emits the session → round span tree (client-side
+// spans attach through Federation.roundCtx); with a Ledger it writes one
+// training-dynamics line per round.
 func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
 	alg.Setup(f)
 	h := &metrics.History{Algorithm: alg.Name()}
+	sess := f.Cfg.Tracer.Start("session", telemetry.SpanContext{})
+	defer sess.End()
+	f.Cfg.Events.Emit("run_start", -1, alg.Name())
 	for c := 0; c < rounds; c++ {
 		sampled := f.SampleClients(c)
+		tRound := f.Cfg.Tracer.Start("round", sess.Context())
+		tRound.Round = c
+		f.roundCtx = tRound.Context()
 		start := time.Now()
 		res := alg.Round(c, sampled)
+		dur := tRound.End()
+		f.recordLedger(alg, c, sampled, res, dur)
 		if obs, ok := f.Cfg.Sampler.(LossObserver); ok {
 			for id, loss := range res.ClientLosses {
 				obs.Observe(id, loss)
@@ -512,7 +593,41 @@ func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
 		}
 		h.Append(stats)
 	}
+	f.Cfg.Events.Emit("run_done", rounds-1, alg.Name())
 	return h
+}
+
+// recordLedger writes one run-ledger line for a completed round. The record
+// is reused across rounds; simulated rounds never fail, so attempt is always
+// 1 and ok true.
+func (f *Federation) recordLedger(alg Algorithm, round int, sampled []int, res RoundResult, dur time.Duration) {
+	if f.Cfg.Ledger == nil {
+		return
+	}
+	rec := &f.rec
+	rec.Reset()
+	rec.Algo = alg.Name()
+	rec.Round, rec.Attempt, rec.OK = round, 1, true
+	rec.Loss = res.TrainLoss
+	rec.DurNanos = int64(dur)
+	rec.UpBytes, rec.DownBytes = res.UpBytes, res.DownBytes
+	for _, ci := range sampled {
+		id := f.Clients[ci].ID
+		loss, ok := res.ClientLosses[id]
+		if !ok {
+			continue
+		}
+		rec.ClientID = append(rec.ClientID, id)
+		rec.ClientLoss = append(rec.ClientLoss, loss)
+		if res.ClientNorms != nil {
+			rec.ClientNorm = append(rec.ClientNorm, res.ClientNorms[id])
+		}
+	}
+	if mr, ok := alg.(MMDReporter); ok {
+		rec.MMD = mr.PairwiseMMDInto(rec.MMD)
+		rec.MMDDim = len(f.Clients)
+	}
+	f.Cfg.Ledger.Record(rec)
 }
 
 // String renders a client for diagnostics.

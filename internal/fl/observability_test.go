@@ -1,0 +1,242 @@
+package fl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+	"repro/internal/tensor"
+)
+
+// These tests pin the simulation side of the observability layer: Run must
+// emit the session → round → client_round → local_steps span tree and one
+// ledger line per round, and the tracing hooks must not reintroduce
+// allocations or measurable overhead into the training hot path.
+
+type simSpan struct {
+	Trace  string `json:"trace"`
+	Span   string `json:"span"`
+	Parent string `json:"parent"`
+	Name   string `json:"name"`
+	Round  *int   `json:"round"`
+	Client *int   `json:"client"`
+	DurNS  int64  `json:"dur_ns"`
+}
+
+func decodeSimSpans(t *testing.T, buf *bytes.Buffer) []simSpan {
+	t.Helper()
+	var spans []simSpan
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var s simSpan
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+type simLedgerLine struct {
+	Algo       string    `json:"algo"`
+	Round      int       `json:"round"`
+	Attempt    int       `json:"attempt"`
+	OK         bool      `json:"ok"`
+	Loss       *float64  `json:"loss"`
+	DurNS      int64     `json:"dur_ns"`
+	UpBytes    int64     `json:"up_bytes"`
+	DownBytes  int64     `json:"down_bytes"`
+	ClientID   []int     `json:"client_id"`
+	ClientLoss []float64 `json:"client_loss"`
+	ClientNorm []float64 `json:"client_norm"`
+	MMDDim     int       `json:"mmd_dim"`
+	MMD        []float64 `json:"mmd"`
+}
+
+func simFederation(t *testing.T, clients int, cfg Config) *Federation {
+	t.Helper()
+	rng := rand.New(rand.NewSource(41))
+	shards := make([]*data.Dataset, clients)
+	for i := range shards {
+		shards[i] = allocTestDataset(rng, 96, 16, 4)
+	}
+	return NewFederation(cfg, shards, nil)
+}
+
+func TestRunEmitsTraceAndLedger(t *testing.T) {
+	const clients, rounds = 3, 2
+	var traceBuf, ledgerBuf bytes.Buffer
+	cfg := Config{
+		Builder: nn.NewMLP(16, 12, 8, 4), ModelSeed: 1, Seed: 2,
+		LocalSteps: 2, BatchSize: 8, Workers: 2,
+		Tracer: telemetry.NewTracer(&traceBuf),
+		Ledger: telemetry.NewRunLedger(&ledgerBuf),
+	}
+	f := simFederation(t, clients, cfg)
+	Run(f, NewFedAvg(), rounds)
+
+	spans := decodeSimSpans(t, &traceBuf)
+	byName := map[string][]simSpan{}
+	byID := map[string]simSpan{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		byID[s.Span] = s
+	}
+	if len(byName["session"]) != 1 {
+		t.Fatalf("got %d session spans, want 1", len(byName["session"]))
+	}
+	root := byName["session"][0]
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Errorf("span %s in trace %q, want %q", s.Name, s.Trace, root.Trace)
+		}
+	}
+	if len(byName["round"]) != rounds {
+		t.Fatalf("got %d round spans, want %d", len(byName["round"]), rounds)
+	}
+	for _, r := range byName["round"] {
+		if r.Parent != root.Span || r.Round == nil {
+			t.Errorf("round span parent=%q round=%v", r.Parent, r.Round)
+		}
+	}
+	if n := len(byName["client_round"]); n != rounds*clients {
+		t.Errorf("got %d client_round spans, want %d", n, rounds*clients)
+	}
+	for _, s := range byName["client_round"] {
+		if p, ok := byID[s.Parent]; !ok || p.Name != "round" {
+			t.Errorf("client_round parents to %q, want a round span", s.Parent)
+		}
+		if s.Client == nil {
+			t.Error("client_round span missing client attribute")
+		}
+	}
+	if n := len(byName["local_steps"]); n != rounds*clients {
+		t.Errorf("got %d local_steps spans, want %d", n, rounds*clients)
+	}
+	for _, s := range byName["local_steps"] {
+		if p, ok := byID[s.Parent]; !ok || p.Name != "client_round" {
+			t.Errorf("local_steps parents to %q, want a client_round span", s.Parent)
+		}
+	}
+
+	sc := bufio.NewScanner(&ledgerBuf)
+	var lines []simLedgerLine
+	for sc.Scan() {
+		var l simLedgerLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("ledger line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	if len(lines) != rounds {
+		t.Fatalf("got %d ledger lines, want %d", len(lines), rounds)
+	}
+	for i, l := range lines {
+		if l.Algo != "FedAvg" || l.Round != i || l.Attempt != 1 || !l.OK {
+			t.Errorf("line %d identity: %+v", i, l)
+		}
+		if l.Loss == nil || *l.Loss <= 0 {
+			t.Errorf("line %d loss = %v", i, l.Loss)
+		}
+		if l.DurNS <= 0 || l.UpBytes <= 0 || l.DownBytes <= 0 {
+			t.Errorf("line %d dur/bytes: %+v", i, l)
+		}
+		if len(l.ClientID) != clients || len(l.ClientLoss) != clients || len(l.ClientNorm) != clients {
+			t.Errorf("line %d client arrays: id=%d loss=%d norm=%d",
+				i, len(l.ClientID), len(l.ClientLoss), len(l.ClientNorm))
+		}
+		for _, n := range l.ClientNorm {
+			if n <= 0 {
+				t.Errorf("line %d non-positive update norm %v", i, n)
+			}
+		}
+		// FedAvg has no δ table; the MMD section must be absent.
+		if l.MMDDim != 0 || len(l.MMD) != 0 {
+			t.Errorf("line %d unexpected MMD section: dim=%d len=%d", i, l.MMDDim, len(l.MMD))
+		}
+	}
+}
+
+// TestLocalTrainTracedSteadyStateAllocs re-runs the zero-alloc contract with
+// tracing enabled: the local_steps span plus a per-step feature-gradient
+// span must add zero allocations once the tracer's buffer is sized.
+func TestLocalTrainTracedSteadyStateAllocs(t *testing.T) {
+	prev := tensor.SetKernelParallelism(1)
+	defer tensor.SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(7))
+	ds := allocTestDataset(rng, 256, 64, 10)
+	cfg := Config{Builder: nn.NewMLP(64, 64, 32, 10), ModelSeed: 1, Seed: 2,
+		LocalSteps: 1, BatchSize: 32, Workers: 1,
+		Tracer: telemetry.NewTracer(io.Discard)}
+	f := NewFederation(cfg, []*data.Dataset{ds}, nil)
+	w, c := f.Worker(0), f.Clients[0]
+	w.spanCtx = f.Cfg.Tracer.Start("client_round", telemetry.SpanContext{}).Context()
+	trainRNG := rand.New(rand.NewSource(8))
+	o := f.DefaultLocalOpts(0)
+	// A no-op feature gradient exercises the per-step mmd_grad span without
+	// pulling the regularizer (package core) into fl's tests.
+	o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor { return nil }
+	for i := 0; i < 3; i++ {
+		f.LocalTrain(w, c, trainRNG, o)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		f.LocalTrain(w, c, trainRNG, o)
+	})
+	if allocs != 0 {
+		t.Errorf("traced train step: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTracingOverheadBounded pins the acceptance bound: tracing a dense
+// local step must cost at most 5% wall time. Both configurations are timed
+// as min-of-trials over identical work to shed scheduler noise.
+func TestTracingOverheadBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	prev := tensor.SetKernelParallelism(1)
+	defer tensor.SetKernelParallelism(prev)
+	rng := rand.New(rand.NewSource(9))
+	ds := allocTestDataset(rng, 512, 64, 10)
+
+	timeIt := func(tracer *telemetry.Tracer) time.Duration {
+		cfg := Config{Builder: nn.NewMLP(64, 64, 32, 10), ModelSeed: 1, Seed: 2,
+			LocalSteps: 1, BatchSize: 32, Workers: 1, Tracer: tracer}
+		f := NewFederation(cfg, []*data.Dataset{ds}, nil)
+		w, c := f.Worker(0), f.Clients[0]
+		w.spanCtx = tracer.Start("client_round", telemetry.SpanContext{}).Context()
+		trainRNG := rand.New(rand.NewSource(10))
+		o := f.DefaultLocalOpts(0)
+		o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor { return nil }
+		for i := 0; i < 5; i++ { // warm arenas and tracer buffer
+			f.LocalTrain(w, c, trainRNG, o)
+		}
+		best := time.Duration(1<<62 - 1)
+		const iters = 100
+		for trial := 0; trial < 7; trial++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				f.LocalTrain(w, c, trainRNG, o)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	base := timeIt(nil)
+	traced := timeIt(telemetry.NewTracer(io.Discard))
+	ratio := float64(traced) / float64(base)
+	t.Logf("dense step: base=%v traced=%v ratio=%.3f", base, traced, ratio)
+	if ratio > 1.05 {
+		t.Errorf("tracing overhead %.1f%% exceeds the 5%% budget", (ratio-1)*100)
+	}
+}

@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns an http.Handler serving the registry at /metrics, a
@@ -41,11 +43,17 @@ type Server struct {
 // ListenAndServe starts serving Handler(reg) on addr (":0" picks a free
 // port) in a background goroutine and returns immediately.
 func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	return ListenAndServeHandler(addr, Handler(reg))
+}
+
+// ListenAndServeHandler is ListenAndServe with an arbitrary handler —
+// mainly for tests that need to control handler timing.
+func ListenAndServeHandler(addr string, h http.Handler) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{l: l, srv: &http.Server{Handler: Handler(reg)}}
+	s := &Server{l: l, srv: &http.Server{Handler: h}}
 	go s.srv.Serve(l)
 	return s, nil
 }
@@ -53,5 +61,17 @@ func ListenAndServe(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound address, e.g. "127.0.0.1:9090".
 func (s *Server) Addr() string { return s.l.Addr().String() }
 
-// Close stops the listener and any in-flight handlers.
-func (s *Server) Close() error { return s.srv.Close() }
+// closeGrace bounds how long Close waits for in-flight scrapes to finish.
+const closeGrace = 2 * time.Second
+
+// Close stops the listener gracefully: new connections are refused at once,
+// and in-flight handlers (a /metrics scrape caught mid-body at end of run)
+// get closeGrace to finish before the fallback hard close severs them.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+)
+
+// RunLedger records the training dynamics of a federated session: one JSON
+// line per round attempt with the quantities the paper argues about — round
+// loss, per-client losses and update norms, the N×N pairwise MMD matrix the
+// regularizer minimizes, δ-table staleness, fault events, and per-round wire
+// bytes (the O(dN²) vs O(dN) comparison between rFedAvg and rFedAvg+).
+//
+// Like the rest of the package it is reflection-free: the caller fills a
+// reusable RoundRecord (slices are kept and refilled between rounds) and
+// Record appends into a reused buffer, so steady-state capture allocates
+// nothing. A nil *RunLedger discards everything.
+type RunLedger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+// NewRunLedger wraps w (typically an *os.File).
+func NewRunLedger(w io.Writer) *RunLedger { return &RunLedger{w: w} }
+
+// RoundRecord is one ledger line. Zero-length slices are omitted from the
+// output; NaN and ±Inf values become JSON null.
+type RoundRecord struct {
+	Algo    string
+	Round   int
+	Attempt int  // 1-based attempt number within the round (retries bump it)
+	OK      bool // false for a failed attempt that will be retried
+
+	Loss     float64
+	DurNanos int64
+
+	UpBytes   int64 // client→server wire bytes this round
+	DownBytes int64 // server→client wire bytes this round
+
+	ClientLoss []float64 // per sampled client, aligned with ClientID
+	ClientNorm []float64 // per sampled client ‖update − global‖₂
+	ClientID   []int     // which clients the loss/norm entries belong to
+
+	MMD    []float64 // row-major MMDDim×MMDDim pairwise feature-map distances
+	MMDDim int
+
+	DeltaAges []int // per-client δ-table row age (rounds since refresh)
+	StaleRows int
+
+	Evicted []int // client IDs evicted during this attempt
+	Rejoins int   // clients re-admitted at this round boundary
+}
+
+// Reset clears r for reuse, keeping slice capacity.
+func (r *RoundRecord) Reset() {
+	r.Algo = ""
+	r.Round, r.Attempt = 0, 0
+	r.OK = false
+	r.Loss, r.DurNanos = 0, 0
+	r.UpBytes, r.DownBytes = 0, 0
+	r.ClientLoss = r.ClientLoss[:0]
+	r.ClientNorm = r.ClientNorm[:0]
+	r.ClientID = r.ClientID[:0]
+	r.MMD = r.MMD[:0]
+	r.MMDDim = 0
+	r.DeltaAges = r.DeltaAges[:0]
+	r.StaleRows = 0
+	r.Evicted = r.Evicted[:0]
+	r.Rejoins = 0
+}
+
+// Record writes r as one JSON line. Safe on a nil ledger.
+func (l *RunLedger) Record(r *RoundRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buf[:0]
+	b = append(b, `{"algo":`...)
+	b = appendJSONString(b, r.Algo)
+	b = append(b, `,"round":`...)
+	b = strconv.AppendInt(b, int64(r.Round), 10)
+	b = append(b, `,"attempt":`...)
+	b = strconv.AppendInt(b, int64(r.Attempt), 10)
+	b = append(b, `,"ok":`...)
+	b = strconv.AppendBool(b, r.OK)
+	b = append(b, `,"loss":`...)
+	b = appendJSONFloat(b, r.Loss)
+	b = append(b, `,"dur_ns":`...)
+	b = strconv.AppendInt(b, r.DurNanos, 10)
+	b = append(b, `,"up_bytes":`...)
+	b = strconv.AppendInt(b, r.UpBytes, 10)
+	b = append(b, `,"down_bytes":`...)
+	b = strconv.AppendInt(b, r.DownBytes, 10)
+	if len(r.ClientID) > 0 {
+		b = append(b, `,"client_id":`...)
+		b = appendJSONInts(b, r.ClientID)
+	}
+	if len(r.ClientLoss) > 0 {
+		b = append(b, `,"client_loss":`...)
+		b = appendJSONFloats(b, r.ClientLoss)
+	}
+	if len(r.ClientNorm) > 0 {
+		b = append(b, `,"client_norm":`...)
+		b = appendJSONFloats(b, r.ClientNorm)
+	}
+	if len(r.MMD) > 0 {
+		b = append(b, `,"mmd_dim":`...)
+		b = strconv.AppendInt(b, int64(r.MMDDim), 10)
+		b = append(b, `,"mmd":`...)
+		b = appendJSONFloats(b, r.MMD)
+	}
+	if len(r.DeltaAges) > 0 {
+		b = append(b, `,"delta_ages":`...)
+		b = appendJSONInts(b, r.DeltaAges)
+		b = append(b, `,"stale_rows":`...)
+		b = strconv.AppendInt(b, int64(r.StaleRows), 10)
+	}
+	if len(r.Evicted) > 0 {
+		b = append(b, `,"evicted":`...)
+		b = appendJSONInts(b, r.Evicted)
+	}
+	if r.Rejoins > 0 {
+		b = append(b, `,"rejoins":`...)
+		b = strconv.AppendInt(b, int64(r.Rejoins), 10)
+	}
+	b = append(b, '}', '\n')
+	l.buf = b
+	l.w.Write(b)
+}

@@ -44,7 +44,9 @@ func NewEventLog(w io.Writer) *EventLog { return &EventLog{w: w} }
 
 // Emit writes {"ts":…,"event":…,"round":…,"detail":…} followed by a
 // newline. The encoder is hand-rolled over a reused buffer: no
-// encoding/json, one Write call per event.
+// encoding/json, one Write call per event. Strings are escaped with JSON
+// escapes (appendJSONString), not strconv.Quote's Go escapes — \xNN and \a
+// are valid Go but corrupt a JSONL stream.
 func (l *EventLog) Emit(event string, round int, detail string) {
 	if l == nil {
 		return
@@ -52,15 +54,16 @@ func (l *EventLog) Emit(event string, round int, detail string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	b := l.buf[:0]
-	b = append(b, `{"ts":`...)
-	b = strconv.AppendQuote(b, time.Now().UTC().Format(time.RFC3339Nano))
+	b = append(b, `{"ts":"`...)
+	b = time.Now().UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, '"')
 	b = append(b, `,"event":`...)
-	b = strconv.AppendQuote(b, event)
+	b = appendJSONString(b, event)
 	b = append(b, `,"round":`...)
 	b = strconv.AppendInt(b, int64(round), 10)
 	if detail != "" {
 		b = append(b, `,"detail":`...)
-		b = strconv.AppendQuote(b, detail)
+		b = appendJSONString(b, detail)
 	}
 	b = append(b, '}', '\n')
 	l.buf = b

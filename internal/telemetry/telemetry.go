@@ -91,6 +91,11 @@ func (h *Histogram) Observe(v float64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	if v != v {
+		// NaN compares false against every bound and would land in the
+		// first bucket; Prometheus semantics put it in +Inf instead.
+		i = len(h.bounds)
+	}
 	if i < len(h.counts) {
 		h.counts[i].Add(1)
 	} else {

@@ -1,0 +1,229 @@
+package traceview
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// The golden fixtures under testdata/ come from a real traced transport
+// session (the same code path flsim -trace exercises); `go test -run
+// Golden -update ./internal/traceview/` re-runs a session and rewrites
+// them together with the rendered golden output.
+
+var update = flag.Bool("update", false, "rewrite testdata fixtures and golden files")
+
+// runTracedSession runs a short rFedAvg+ session over in-process pipes with
+// tracing and a ledger attached and returns the two raw JSONL files.
+func runTracedSession(t *testing.T, clients, rounds int) (traceJSONL, ledgerJSONL []byte) {
+	t.Helper()
+	train := data.SynthMNIST(400, 1)
+	rng := rand.New(rand.NewSource(3))
+	parts := data.PartitionBySimilarity(train.Y, clients, 0, rng)
+	shards := make([]*data.Dataset, clients)
+	for k, idx := range parts {
+		shards[k] = train.Subset(idx)
+	}
+	builder := nn.NewMLP(train.Features(), 24, 12, train.Classes)
+	net := builder(7)
+
+	var traceBuf, ledgerBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf)
+	ledger := telemetry.NewRunLedger(&ledgerBuf)
+
+	serverConns := make([]transport.Conn, clients)
+	clientConns := make([]transport.Conn, clients)
+	for i := 0; i < clients; i++ {
+		serverConns[i], clientConns[i] = transport.Pipe()
+	}
+	scfg := transport.ServerConfig{
+		Algorithm:     transport.AlgoRFedAvgPlus,
+		Rounds:        rounds,
+		InitialParams: net.GetFlat(),
+		FeatureDim:    net.FeatureDim,
+		Metrics:       telemetry.NewRegistry(),
+		Tracer:        tracer,
+		Ledger:        ledger,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ccfg := transport.ClientConfig{
+				Builder: builder, ModelSeed: 7, Seed: int64(100 + i), ClientID: i,
+				LocalSteps: 5, BatchSize: 16, LR: opt.ConstLR(0.1), Lambda: 1e-3,
+				Tracer: tracer,
+			}
+			if _, err := transport.RunClient(clientConns[i], shards[i], ccfg); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	if _, err := transport.Serve(scfg, serverConns); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	wg.Wait()
+	return traceBuf.Bytes(), ledgerBuf.Bytes()
+}
+
+func fixturePath(name string) string { return filepath.Join("testdata", name) }
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(fixturePath(name))
+	if err != nil {
+		t.Fatalf("missing fixture %s (regenerate with -update): %v", name, err)
+	}
+	return b
+}
+
+func writeFixture(t *testing.T, name string, b []byte) {
+	t.Helper()
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fixturePath(name), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaterfallGolden(t *testing.T) {
+	if *update {
+		tr, led := runTracedSession(t, 3, 2)
+		writeFixture(t, "trace.jsonl", tr)
+		writeFixture(t, "ledger.jsonl", led)
+	}
+	spans, err := ReadSpans(bytes.NewReader(readFixture(t, "trace.jsonl")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := ReadLedger(bytes.NewReader(readFixture(t, "ledger.jsonl")))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := Waterfall(&out, spans, ledger, 48); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		writeFixture(t, "waterfall.golden", out.Bytes())
+	}
+	if got, want := out.String(), string(readFixture(t, "waterfall.golden")); got != want {
+		t.Errorf("waterfall drifted from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	out.Reset()
+	if err := Summary(&out, ledger); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		writeFixture(t, "summary.golden", out.Bytes())
+	}
+	if got, want := out.String(), string(readFixture(t, "summary.golden")); got != want {
+		t.Errorf("summary drifted from golden (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWaterfallLiveRun renders a freshly traced session — timings and span
+// IDs are new every run, so this pins the structure, not the bytes.
+func TestWaterfallLiveRun(t *testing.T) {
+	const clients, rounds = 3, 2
+	tr, led := runTracedSession(t, clients, rounds)
+	spans, err := ReadSpans(bytes.NewReader(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := ReadLedger(bytes.NewReader(led))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Waterfall(&out, spans, ledger, 64); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"round 0", "round 1", "critical path:", "straggler: client", "client_round", "mmd_grad", "loss "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, s)
+		}
+	}
+	if got := strings.Count(s, "critical path:"); got != rounds {
+		t.Errorf("got %d critical-path lines, want %d", got, rounds)
+	}
+	if got := strings.Count(s, "straggler:"); got != rounds {
+		t.Errorf("got %d straggler lines, want %d", got, rounds)
+	}
+	// Every per-round block must attribute the straggler to a real client.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "straggler:") && !strings.Contains(line, "% of round") {
+			t.Errorf("straggler line lacks attribution: %q", line)
+		}
+	}
+}
+
+func TestCompareTwoRuns(t *testing.T) {
+	loss := func(v float64) *float64 { return &v }
+	a := []LedgerLine{ // rFedAvg-shaped: big downloads
+		{Algo: "rFedAvg", Round: 0, Attempt: 1, OK: true, Loss: loss(2.0), UpBytes: 100, DownBytes: 700,
+			MMDDim: 2, MMD: []float64{0, 4, 4, 0}},
+		{Algo: "rFedAvg", Round: 1, Attempt: 1, OK: true, Loss: loss(1.5), UpBytes: 100, DownBytes: 700},
+	}
+	b := []LedgerLine{
+		{Algo: "rFedAvg+", Round: 0, Attempt: 1, OK: false, Loss: nil, UpBytes: 30, DownBytes: 70},
+		{Algo: "rFedAvg+", Round: 0, Attempt: 2, OK: true, Loss: loss(2.0), UpBytes: 100, DownBytes: 300,
+			MMDDim: 2, MMD: []float64{0, 3, 3, 0}},
+		{Algo: "rFedAvg+", Round: 1, Attempt: 1, OK: true, Loss: loss(1.4), UpBytes: 100, DownBytes: 300},
+	}
+	var out bytes.Buffer
+	if err := Compare(&out, a, b); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "rFedAvg (a) vs rFedAvg+ (b)") {
+		t.Errorf("missing run names:\n%s", s)
+	}
+	// 1600 total for a, 800 for b (the failed attempt is excluded): ratio 2.
+	if !strings.Contains(s, "a/b 2.00") {
+		t.Errorf("missing total ratio:\n%s", s)
+	}
+	if !strings.Contains(s, "4.0000") || !strings.Contains(s, "3.0000") {
+		t.Errorf("missing MMD trajectory values:\n%s", s)
+	}
+}
+
+func TestMeanMMD(t *testing.T) {
+	l := LedgerLine{MMDDim: 3, MMD: []float64{0, 1, 2, 1, 0, 3, 2, 3, 0}}
+	if got := l.MeanMMD(); got != 2 {
+		t.Errorf("MeanMMD = %v, want 2", got)
+	}
+	var empty LedgerLine
+	if got := empty.MeanMMD(); got == got { // NaN
+		t.Errorf("MeanMMD on empty = %v, want NaN", got)
+	}
+}
+
+func TestWaterfallNoRounds(t *testing.T) {
+	spans := []Span{{Trace: "1", Span: "2", Name: "session"}}
+	if err := Waterfall(&bytes.Buffer{}, spans, nil, 0); err == nil {
+		t.Error("expected error for a trace without round spans")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	if err := Summary(&bytes.Buffer{}, nil); err == nil {
+		t.Error("expected error for an empty ledger")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/telemetry"
 )
 
 // ClientConfig parameterizes a federated client process.
@@ -34,6 +35,15 @@ type ClientConfig struct {
 	Lambda float64
 	// DeltaBatch bounds δ computation batches; 0 means 256.
 	DeltaBatch int
+
+	// Tracer, when non-nil, records the client's side of each round
+	// (client_round → local_steps/mmd_grad/serialize, compute_delta) with
+	// the span context received in the assign frame header as parent, so a
+	// merged trace file shows client work inside the server's round tree.
+	Tracer *telemetry.Tracer
+	// Events, when non-nil, receives one JSONL line per client lifecycle
+	// event (join, skip, done).
+	Events *telemetry.EventLog
 }
 
 // RunClient joins a federated session on conn with the given local shard
@@ -54,6 +64,7 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 	if err := conn.Send(&Message{Type: MsgJoin, ClientID: int32(cfg.ClientID), NumSamples: int64(shard.Len())}); err != nil {
 		return nil, err
 	}
+	cfg.Events.Emit("join", -1, "")
 
 	for {
 		m, err := conn.Recv()
@@ -65,6 +76,10 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 		}
 		switch m.Type {
 		case MsgAssign:
+			// The assign frame carries the server's round span context;
+			// everything this client does for the round nests under it.
+			cr := cfg.Tracer.Start("client_round", m.SpanContext())
+			cr.Round, cr.Client = int(m.Round), int(m.ClientID)
 			net.SetFlat(m.Params)
 			localOpt.Reset()
 			// Batch sampling is keyed to (Seed, round), not a session-long
@@ -72,24 +87,36 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			// the same mini-batches as one that never left, which keeps a
 			// resumed session bitwise-identical to an uninterrupted one.
 			rng := clientRoundRNG(cfg.Seed, m.Round)
-			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), m.Delta)
-			if err := conn.Send(&Message{
+			ls := cfg.Tracer.Start("local_steps", cr.Context())
+			ls.Round, ls.Client = cr.Round, cr.Client
+			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), m.Delta, ls.Context())
+			ls.End()
+			ser := cfg.Tracer.Start("serialize", cr.Context())
+			ser.Round, ser.Client = cr.Round, cr.Client
+			err := conn.Send(&Message{
 				Type: MsgUpdate, Round: m.Round, ClientID: m.ClientID,
 				NumSamples: int64(shard.Len()), Loss: loss, Params: net.GetFlat(),
-			}); err != nil {
+			})
+			ser.End()
+			cr.End()
+			if err != nil {
 				return nil, err
 			}
 		case MsgDeltaReq:
+			cd := cfg.Tracer.Start("compute_delta", m.SpanContext())
+			cd.Round, cd.Client = int(m.Round), int(m.ClientID)
 			net.SetFlat(m.Params)
 			delta := core.ComputeDelta(net, shard, cfg.DeltaBatch)
+			cd.End()
 			if err := conn.Send(&Message{
 				Type: MsgDelta, Round: m.Round, ClientID: m.ClientID, Delta: delta,
 			}); err != nil {
 				return nil, err
 			}
 		case MsgSkip:
-			// Not in this round's cohort; wait for the next assignment.
+			cfg.Events.Emit("skip", int(m.Round), "")
 		case MsgDone:
+			cfg.Events.Emit("done", int(m.Round), "")
 			return m.Params, nil
 		default:
 			return nil, fmt.Errorf("transport: unexpected message type %d", m.Type)
@@ -105,9 +132,10 @@ func clientRoundRNG(seed int64, round int32) *rand.Rand {
 }
 
 // localSteps runs E local mini-batch steps, with the distribution
-// regularizer attached when a target map was assigned.
+// regularizer attached when a target map was assigned. The MMD-gradient
+// computation of each regularized step is traced as its own child span.
 func localSteps(net *nn.Network, localOpt opt.Optimizer, shard *data.Dataset,
-	rng *rand.Rand, cfg ClientConfig, round int, target []float64) float64 {
+	rng *rand.Rand, cfg ClientConfig, round int, target []float64, parent telemetry.SpanContext) float64 {
 	params := net.Params()
 	total := 0.0
 	for i := 0; i < cfg.LocalSteps; i++ {
@@ -118,7 +146,11 @@ func localSteps(net *nn.Network, localOpt opt.Optimizer, shard *data.Dataset,
 		total += loss
 		net.ZeroGrad()
 		if len(target) == net.FeatureDim && cfg.Lambda != 0 {
-			net.Backward(dlogits, core.RegFeatureGrad(feat, target, cfg.Lambda))
+			mg := cfg.Tracer.Start("mmd_grad", parent)
+			mg.Round, mg.Client = round, cfg.ClientID
+			rg := core.RegFeatureGrad(feat, target, cfg.Lambda)
+			mg.End()
+			net.Backward(dlogits, rg)
 		} else {
 			net.Backward(dlogits, nil)
 		}

@@ -53,14 +53,30 @@ const (
 
 // Message is one protocol frame. Unused fields are zero/nil and cost only
 // their length prefixes on the wire.
+//
+// Trace and Span carry span context across the wire (the server's round
+// span on MsgAssign/MsgDeltaReq), so client-side spans stitch into the
+// server's round tree. Zero means "no tracing".
 type Message struct {
 	Type       MsgType
 	Round      int32
 	ClientID   int32
 	NumSamples int64
 	Loss       float64
+	Trace      uint64
+	Span       uint64
 	Params     []float64
 	Delta      []float64
+}
+
+// SpanContext returns the span context the frame carries.
+func (m *Message) SpanContext() telemetry.SpanContext {
+	return telemetry.SpanContext{Trace: m.Trace, Span: m.Span}
+}
+
+// setSpanContext stamps a span context onto the frame.
+func (m *Message) setSpanContext(c telemetry.SpanContext) {
+	m.Trace, m.Span = c.Trace, c.Span
 }
 
 // Clone returns a deep copy of the message: the float payloads get their
@@ -78,7 +94,10 @@ func (m *Message) Clone() *Message {
 	return &c
 }
 
-const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 4 + 4
+// Header layout (after the 4-byte length prefix): type(1), round(4),
+// clientID(4), numSamples(8), loss(8), trace(8), span(8), nParams(4),
+// nDeltas(4).
+const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4
 
 // EncodedSize returns the exact number of bytes WriteMessage produces.
 func (m *Message) EncodedSize() int {
@@ -95,8 +114,10 @@ func WriteMessage(w io.Writer, m *Message) error {
 	binary.LittleEndian.PutUint32(buf[9:], uint32(m.ClientID))
 	binary.LittleEndian.PutUint64(buf[13:], uint64(m.NumSamples))
 	binary.LittleEndian.PutUint64(buf[21:], math.Float64bits(m.Loss))
-	binary.LittleEndian.PutUint32(buf[29:], uint32(len(m.Params)))
-	binary.LittleEndian.PutUint32(buf[33:], uint32(len(m.Delta)))
+	binary.LittleEndian.PutUint64(buf[29:], m.Trace)
+	binary.LittleEndian.PutUint64(buf[37:], m.Span)
+	binary.LittleEndian.PutUint32(buf[45:], uint32(len(m.Params)))
+	binary.LittleEndian.PutUint32(buf[49:], uint32(len(m.Delta)))
 	off := 4 + msgHeaderSize
 	for _, v := range m.Params {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
@@ -136,9 +157,11 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		ClientID:   int32(binary.LittleEndian.Uint32(buf[5:])),
 		NumSamples: int64(binary.LittleEndian.Uint64(buf[9:])),
 		Loss:       math.Float64frombits(binary.LittleEndian.Uint64(buf[17:])),
+		Trace:      binary.LittleEndian.Uint64(buf[25:]),
+		Span:       binary.LittleEndian.Uint64(buf[33:]),
 	}
-	np := int(binary.LittleEndian.Uint32(buf[25:]))
-	nd := int(binary.LittleEndian.Uint32(buf[29:]))
+	np := int(binary.LittleEndian.Uint32(buf[41:]))
+	nd := int(binary.LittleEndian.Uint32(buf[45:]))
 	if msgHeaderSize+8*(np+nd) != int(body) {
 		return nil, fmt.Errorf("transport: frame length %d does not match %d params + %d deltas", body, np, nd)
 	}

@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// These tests pin the tracing + run-ledger integration: a session over
+// in-process pipes must produce a stitched span tree (server phases with
+// the client-side work parented into the same trace via the frame headers)
+// and one ledger line per round attempt carrying the training dynamics.
+
+type testSpan struct {
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent"`
+	Name    string `json:"name"`
+	Round   *int   `json:"round"`
+	Client  *int   `json:"client"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+func decodeSpanFile(t *testing.T, buf *bytes.Buffer) []testSpan {
+	t.Helper()
+	var spans []testSpan
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var s testSpan
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+type testLedgerLine struct {
+	Algo       string    `json:"algo"`
+	Round      int       `json:"round"`
+	Attempt    int       `json:"attempt"`
+	OK         bool      `json:"ok"`
+	Loss       *float64  `json:"loss"`
+	DurNS      int64     `json:"dur_ns"`
+	UpBytes    int64     `json:"up_bytes"`
+	DownBytes  int64     `json:"down_bytes"`
+	ClientID   []int     `json:"client_id"`
+	ClientLoss []float64 `json:"client_loss"`
+	ClientNorm []float64 `json:"client_norm"`
+	MMDDim     int       `json:"mmd_dim"`
+	MMD        []float64 `json:"mmd"`
+	DeltaAges  []int     `json:"delta_ages"`
+}
+
+func decodeLedgerFile(t *testing.T, buf *bytes.Buffer) []testLedgerLine {
+	t.Helper()
+	var lines []testLedgerLine
+	sc := bufio.NewScanner(buf)
+	for sc.Scan() {
+		var l testLedgerLine
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("ledger line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, l)
+	}
+	return lines
+}
+
+// tracedSession runs a short rFedAvg+ session over pipes with one shared
+// tracer (server and clients in-process, as flsim does) and a ledger.
+func tracedSession(t *testing.T, clients, rounds int) ([]testSpan, []testLedgerLine) {
+	t.Helper()
+	fx := newFixture(t, clients)
+	var traceBuf, ledgerBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf)
+	ledger := telemetry.NewRunLedger(&ledgerBuf)
+
+	serverConns := make([]Conn, clients)
+	clientConns := make([]Conn, clients)
+	for i := 0; i < clients; i++ {
+		serverConns[i], clientConns[i] = Pipe()
+	}
+	net := fx.builder(fx.ccfg.ModelSeed)
+	scfg := ServerConfig{
+		Algorithm:     AlgoRFedAvgPlus,
+		Rounds:        rounds,
+		InitialParams: net.GetFlat(),
+		FeatureDim:    net.FeatureDim,
+		Metrics:       telemetry.NewRegistry(),
+		Tracer:        tracer,
+		Ledger:        ledger,
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := fx.ccfg
+			cfg.Seed = int64(100 + i)
+			cfg.ClientID = i
+			cfg.Tracer = tracer
+			if _, err := RunClient(clientConns[i], fx.shards[i], cfg); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i)
+	}
+	if _, err := Serve(scfg, serverConns); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	wg.Wait()
+	return decodeSpanFile(t, &traceBuf), decodeLedgerFile(t, &ledgerBuf)
+}
+
+func TestServeEmitsStitchedSpanTree(t *testing.T) {
+	const clients, rounds = 3, 2
+	spans, _ := tracedSession(t, clients, rounds)
+
+	byName := map[string][]testSpan{}
+	byID := map[string]testSpan{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+		byID[s.Span] = s
+	}
+	sessions := byName["session"]
+	if len(sessions) != 1 {
+		t.Fatalf("got %d session spans, want 1", len(sessions))
+	}
+	root := sessions[0]
+	if root.Parent != "" {
+		t.Errorf("session span has parent %q", root.Parent)
+	}
+	// Every span of the run — server and client side — shares the trace.
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Errorf("span %s has trace %q, want %q", s.Name, s.Trace, root.Trace)
+		}
+	}
+	if len(byName["round"]) != rounds {
+		t.Fatalf("got %d round spans, want %d", len(byName["round"]), rounds)
+	}
+	for _, r := range byName["round"] {
+		if r.Parent != root.Span {
+			t.Errorf("round span parents to %q, want session %q", r.Parent, root.Span)
+		}
+		if r.Round == nil {
+			t.Error("round span missing round attribute")
+		}
+	}
+	// Server phases nest under their round.
+	for _, name := range []string{"broadcast", "gather", "delta_sync"} {
+		if len(byName[name]) != rounds {
+			t.Errorf("got %d %s spans, want %d", len(byName[name]), name, rounds)
+		}
+		for _, s := range byName[name] {
+			if p, ok := byID[s.Parent]; !ok || p.Name != "round" {
+				t.Errorf("%s span parents to %q, want a round span", name, s.Parent)
+			}
+		}
+	}
+	// Per-client waits nest under the phase spans.
+	if n := len(byName["gather_client"]); n != rounds*clients {
+		t.Errorf("got %d gather_client spans, want %d", n, rounds*clients)
+	}
+	for _, s := range byName["gather_client"] {
+		if s.Client == nil {
+			t.Error("gather_client span missing client attribute")
+		}
+		if p, ok := byID[s.Parent]; !ok || p.Name != "gather" {
+			t.Errorf("gather_client parents to %q, want a gather span", s.Parent)
+		}
+	}
+	// Client-side work is stitched through the wire: client_round spans
+	// parent directly to the server's round spans.
+	if n := len(byName["client_round"]); n != rounds*clients {
+		t.Errorf("got %d client_round spans, want %d", n, rounds*clients)
+	}
+	for _, s := range byName["client_round"] {
+		if p, ok := byID[s.Parent]; !ok || p.Name != "round" {
+			t.Errorf("client_round parents to %q, want a round span", s.Parent)
+		}
+	}
+	for _, name := range []string{"local_steps", "serialize"} {
+		for _, s := range byName[name] {
+			if p, ok := byID[s.Parent]; !ok || p.Name != "client_round" {
+				t.Errorf("%s parents to %q, want a client_round span", name, s.Parent)
+			}
+		}
+	}
+	// λ > 0 under rfedavg+ after round 0 means the regularizer ran: the
+	// MMD-gradient spans must appear under local_steps.
+	if len(byName["mmd_grad"]) == 0 {
+		t.Error("no mmd_grad spans — regularized steps were not traced")
+	}
+	for _, s := range byName["mmd_grad"] {
+		if p, ok := byID[s.Parent]; !ok || p.Name != "local_steps" {
+			t.Errorf("mmd_grad parents to %q, want a local_steps span", s.Parent)
+		}
+	}
+	// The δ recomputation parents to the round via the MsgDeltaReq header.
+	if n := len(byName["compute_delta"]); n != rounds*clients {
+		t.Errorf("got %d compute_delta spans, want %d", n, rounds*clients)
+	}
+}
+
+func TestServeWritesLedgerDynamics(t *testing.T) {
+	const clients, rounds = 3, 2
+	_, lines := tracedSession(t, clients, rounds)
+
+	if len(lines) != rounds {
+		t.Fatalf("got %d ledger lines, want %d", len(lines), rounds)
+	}
+	for i, l := range lines {
+		if l.Round != i || l.Attempt != 1 || !l.OK || l.Algo != string(AlgoRFedAvgPlus) {
+			t.Errorf("line %d identity: %+v", i, l)
+		}
+		if l.Loss == nil || math.IsNaN(*l.Loss) || *l.Loss <= 0 {
+			t.Errorf("line %d loss = %v", i, l.Loss)
+		}
+		if l.DurNS <= 0 {
+			t.Errorf("line %d dur_ns = %d", i, l.DurNS)
+		}
+		if l.UpBytes <= 0 || l.DownBytes <= 0 {
+			t.Errorf("line %d bytes up=%d down=%d", i, l.UpBytes, l.DownBytes)
+		}
+		if len(l.ClientID) != clients || len(l.ClientLoss) != clients || len(l.ClientNorm) != clients {
+			t.Errorf("line %d client arrays: id=%d loss=%d norm=%d", i, len(l.ClientID), len(l.ClientLoss), len(l.ClientNorm))
+		}
+		for _, n := range l.ClientNorm {
+			if n <= 0 {
+				t.Errorf("line %d non-positive update norm %v", i, n)
+			}
+		}
+		if l.MMDDim != clients || len(l.MMD) != clients*clients {
+			t.Errorf("line %d MMD matrix: dim=%d len=%d", i, l.MMDDim, len(l.MMD))
+		}
+		for a := 0; a < l.MMDDim; a++ {
+			if l.MMD[a*l.MMDDim+a] != 0 {
+				t.Errorf("line %d MMD diagonal [%d] = %v", i, a, l.MMD[a*l.MMDDim+a])
+			}
+		}
+		if len(l.DeltaAges) != clients {
+			t.Errorf("line %d delta_ages = %v", i, l.DeltaAges)
+		}
+	}
+}
+
+// TestTraceContextSurvivesWire pins the header propagation at the codec
+// level: a frame's span context must round-trip through encode/decode.
+func TestTraceContextSurvivesWire(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{Type: MsgAssign, Round: 5, ClientID: 2, Trace: 0xdeadbeefcafe, Span: 0x1234567890ab}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != in.Trace || out.Span != in.Span {
+		t.Fatalf("span context mangled: got %x/%x, want %x/%x", out.Trace, out.Span, in.Trace, in.Span)
+	}
+	ctx := out.SpanContext()
+	if ctx.Trace != in.Trace || ctx.Span != in.Span || !ctx.Valid() {
+		t.Fatalf("SpanContext() = %+v", ctx)
+	}
+}

@@ -83,6 +83,16 @@ type ServerConfig struct {
 	// Events, when non-nil, receives one JSONL line per lifecycle event
 	// (evict, rejoin, retry, checkpoint, resume, round).
 	Events *telemetry.EventLog
+	// Tracer, when non-nil, records identified spans to a JSONL trace
+	// file: session → join/round → phase → per-client, with the round
+	// span's context stamped into MsgAssign/MsgDeltaReq frame headers so
+	// client-side spans stitch into the same tree.
+	Tracer *telemetry.Tracer
+	// Ledger, when non-nil, receives one training-dynamics line per round
+	// attempt: round loss, per-client losses and update norms, the pairwise
+	// MMD matrix of the δ table (rFedAvg+), δ-row ages, evictions/rejoins,
+	// and the attempt's wire bytes in each direction.
+	Ledger *telemetry.RunLedger
 }
 
 // Eviction records one client dropped from a session.
@@ -136,6 +146,14 @@ type session struct {
 	res        *ServerResult
 	metrics    *serverMetrics
 	lastFault  string
+	// sessCtx is the root span all round/checkpoint spans parent to.
+	sessCtx telemetry.SpanContext
+	// rec is the reused ledger record; its slices are refilled each round
+	// attempt so steady-state capture allocates nothing.
+	rec telemetry.RoundRecord
+	// lastRejoins attributes boundary rejoins to the following attempt's
+	// ledger record.
+	lastRejoins int
 	// pending holds handshaked rejoiners that arrived before their crashed
 	// predecessor's eviction surfaced; they are re-placed at every round
 	// boundary until a slot frees up.
@@ -191,10 +209,18 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 		maxRetries = 2
 	}
 
+	// The session root span: every round attempt and checkpoint parents to
+	// it, making the trace ID the session's identity across processes.
+	sessSpan := cfg.Tracer.Start("session", telemetry.SpanContext{})
+	defer sessSpan.End()
+	s.sessCtx = sessSpan.Context()
+
 	// Join phase: collect shard sizes; a client that fails its join is
 	// evicted rather than aborting everyone else's session.
 	joinSpan := telemetry.StartSpan(s.metrics.joinSec)
+	tJoin := cfg.Tracer.Start("join", s.sessCtx)
 	err := s.collectJoins()
+	tJoin.End()
 	joinSpan.End()
 	if err != nil {
 		return nil, err
@@ -215,7 +241,7 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 		s.admitRejoins()
 		ok := s.activeCount() >= s.minClients || s.waitForQuorum()
 		if ok {
-			ok = s.runRound(round)
+			ok = s.runRound(round, attempts+1)
 		}
 		if !ok {
 			attempts++
@@ -407,7 +433,10 @@ func (s *session) checkpoint(nextRound int) {
 		}
 	}
 	span := telemetry.StartSpan(s.metrics.checkpointSec)
+	tCk := s.cfg.Tracer.Start("checkpoint", s.sessCtx)
+	tCk.Round = nextRound
 	err := SaveCheckpoint(s.cfg.CheckpointPath, ck)
+	tCk.End()
 	span.End()
 	if err != nil {
 		s.logf("checkpoint at round %d failed (ignored): %v", nextRound, err)
@@ -524,7 +553,44 @@ func (s *session) place(p pendingJoin) {
 	s.event("rejoin", -1, fmt.Sprintf("slot %d", slot))
 }
 
-// runRound attempts one full round over the currently active clients.
+// runRound wraps one round attempt with its observability capture: the
+// traced round span (parent of every phase and per-client span, and of the
+// client-side spans via the frame headers), and the ledger record for the
+// attempt — written for failed attempts too (ok=false, loss=null), so the
+// ledger shows retries rather than silently eliding them.
+func (s *session) runRound(round, attempt int) bool {
+	roundSpan := telemetry.StartSpan(s.metrics.roundSec)
+	tRound := s.cfg.Tracer.Start("round", s.sessCtx)
+	tRound.Round = round
+
+	rec := &s.rec
+	rec.Reset()
+	rec.Algo = string(s.cfg.Algorithm)
+	rec.Round, rec.Attempt = round, attempt
+	rec.Loss = math.NaN()
+	evBefore := len(s.res.Evictions)
+	sentBefore, recvBefore := s.metrics.bytesSent.Value(), s.metrics.bytesRecv.Value()
+
+	ok := s.attemptRound(round, tRound.Context())
+
+	dur := tRound.End()
+	roundSpan.End()
+	if s.cfg.Ledger != nil {
+		rec.OK = ok
+		rec.DurNanos = int64(dur)
+		rec.DownBytes = s.metrics.bytesSent.Value() - sentBefore
+		rec.UpBytes = s.metrics.bytesRecv.Value() - recvBefore
+		for _, ev := range s.res.Evictions[evBefore:] {
+			rec.Evicted = append(rec.Evicted, ev.Client)
+		}
+		rec.Rejoins = s.res.Rejoins - s.lastRejoins
+		s.cfg.Ledger.Record(rec)
+	}
+	s.lastRejoins = s.res.Rejoins
+	return ok
+}
+
+// attemptRound attempts one full round over the currently active clients.
 // It returns false — leaving the global model untouched — when fewer than
 // MinClients valid updates arrive (satisfying quorum is the caller's
 // retry loop's job). Faulty clients are evicted along the way.
@@ -533,17 +599,18 @@ func (s *session) place(p pendingJoin) {
 // resumed server samples the same cohorts at round r as one that never
 // died, and a retried attempt re-samples the same cohort instead of
 // silently consuming extra draws and perturbing every later round.
-func (s *session) runRound(round int) bool {
-	roundSpan := telemetry.StartSpan(s.metrics.roundSec)
-	defer roundSpan.End()
-
+func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
+	rec := &s.rec
 	plus := s.cfg.Algorithm == AlgoRFedAvgPlus
 	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), s.active, s.cfg.SampleRatio)
 
-	// Sync #1: assign work to the cohort; skip everyone else.
+	// Sync #1: assign work to the cohort; skip everyone else. Assign frames
+	// carry the round span's context so client-side spans join the tree.
 	ctx, cancel := s.phaseCtx()
 	bSpan := telemetry.StartSpan(s.metrics.broadcastSec)
-	s.broadcastActive(ctx, round, func(i int) *Message {
+	tb := s.cfg.Tracer.Start("broadcast", roundCtx)
+	tb.Round = round
+	s.broadcastActive(ctx, round, roundCtx, func(i int) *Message {
 		if !cohort[i] {
 			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 		}
@@ -553,9 +620,13 @@ func (s *session) runRound(round int) bool {
 		}
 		return m
 	})
+	tb.End()
 	bSpan.End()
 	gSpan := telemetry.StartSpan(s.metrics.gatherSec)
-	updates := s.gatherActive(ctx, round, cohort, MsgUpdate)
+	tg := s.cfg.Tracer.Start("gather", roundCtx)
+	tg.Round = round
+	updates := s.gatherActive(ctx, round, cohort, MsgUpdate, "gather_client", tg.Context())
+	tg.End()
 	gSpan.End()
 	cancel()
 
@@ -606,23 +677,38 @@ func (s *session) runRound(round int) bool {
 			next[j] += wi * v
 		}
 		loss += wi * m.Loss
+		if s.cfg.Ledger != nil {
+			// Update norm ‖w_k − w_global‖ against the model the client
+			// trained from (s.global is not overwritten until below).
+			d := 0.0
+			for j, v := range m.Params {
+				dv := v - s.global[j]
+				d += dv * dv
+			}
+			rec.ClientID = append(rec.ClientID, i)
+			rec.ClientLoss = append(rec.ClientLoss, m.Loss)
+			rec.ClientNorm = append(rec.ClientNorm, math.Sqrt(d))
+		}
 	}
 	s.global = next
 	s.res.RoundLosses = append(s.res.RoundLosses, loss)
+	rec.Loss = loss
 
 	// Sync #2 (rFedAvg+ only): ship the new global model, gather maps.
 	// A client lost here keeps its previous (now stale) row — the
 	// δ-staleness fallback — instead of failing the round.
 	if plus {
 		dSpan := telemetry.StartSpan(s.metrics.deltaSyncSec)
+		td := s.cfg.Tracer.Start("delta_sync", roundCtx)
+		td.Round = round
 		ctx2, cancel2 := s.phaseCtx()
-		s.broadcastActive(ctx2, round, func(i int) *Message {
+		s.broadcastActive(ctx2, round, roundCtx, func(i int) *Message {
 			if !delivered[i] {
 				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 			}
 			return &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Params: s.global}
 		})
-		deltas := s.gatherActive(ctx2, round, delivered, MsgDelta)
+		deltas := s.gatherActive(ctx2, round, delivered, MsgDelta, "delta_client", td.Context())
 		cancel2()
 		for i, m := range deltas {
 			if m == nil {
@@ -637,6 +723,7 @@ func (s *session) runRound(round int) bool {
 				s.table.Set(i, m.Delta)
 			}
 		}
+		td.End()
 		dSpan.End()
 	}
 	// Age the δ table once per *successful* round for both algorithms.
@@ -645,6 +732,21 @@ func (s *session) runRound(round int) bool {
 	// was silently ignored outside the plus branch.
 	s.table.Tick()
 	s.metrics.observeDeltaAges(s.table, s.cfg.MaxStaleness)
+	if s.cfg.Ledger != nil {
+		if plus {
+			rec.MMD = s.table.PairwiseMMDInto(rec.MMD)
+			rec.MMDDim = s.table.N
+		}
+		stale := 0
+		for k := 0; k < s.table.N; k++ {
+			age := s.table.Age(k)
+			rec.DeltaAges = append(rec.DeltaAges, age)
+			if s.cfg.MaxStaleness > 0 && age > s.cfg.MaxStaleness {
+				stale++
+			}
+		}
+		rec.StaleRows = stale
+	}
 
 	s.res.Cohorts = append(s.res.Cohorts, RoundCohort{Round: round, Mask: cohort})
 	s.metrics.rounds.Inc()
@@ -659,9 +761,10 @@ func cohortRNG(seed int64, round int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(round)*7919 + 17))
 }
 
-// broadcastActive sends mk(i) to every active connection concurrently;
-// clients whose send fails are evicted.
-func (s *session) broadcastActive(ctx context.Context, round int, mk func(i int) *Message) {
+// broadcastActive sends mk(i) to every active connection concurrently,
+// stamping the round span's context onto each frame; clients whose send
+// fails are evicted.
+func (s *session) broadcastActive(ctx context.Context, round int, span telemetry.SpanContext, mk func(i int) *Message) {
 	errs := make([]error, len(s.conns))
 	var wg sync.WaitGroup
 	for i, c := range s.conns {
@@ -671,7 +774,9 @@ func (s *session) broadcastActive(ctx context.Context, round int, mk func(i int)
 		wg.Add(1)
 		go func(i int, c Conn) {
 			defer wg.Done()
-			errs[i] = sendCtx(ctx, c, mk(i))
+			m := mk(i)
+			m.setSpanContext(span)
+			errs[i] = sendCtx(ctx, c, m)
 		}(i, c)
 	}
 	wg.Wait()
@@ -685,8 +790,9 @@ func (s *session) broadcastActive(ctx context.Context, round int, mk func(i int)
 // gatherActive receives one message of the expected type (for the current
 // round) from every active connection marked in from; other slots are nil.
 // Clients that error, time out, or flood garbage are evicted and their
-// slot stays nil.
-func (s *session) gatherActive(ctx context.Context, round int, from []bool, want MsgType) []*Message {
+// slot stays nil. Each wait is recorded as a per-client span under the
+// phase span — the raw material for straggler attribution.
+func (s *session) gatherActive(ctx context.Context, round int, from []bool, want MsgType, spanName string, parent telemetry.SpanContext) []*Message {
 	msgs := make([]*Message, len(s.conns))
 	errs := make([]error, len(s.conns))
 	var wg sync.WaitGroup
@@ -697,7 +803,10 @@ func (s *session) gatherActive(ctx context.Context, round int, from []bool, want
 		wg.Add(1)
 		go func(i int, c Conn) {
 			defer wg.Done()
+			sp := s.cfg.Tracer.Start(spanName, parent)
+			sp.Round, sp.Client = round, i
 			msgs[i], errs[i] = gatherOne(ctx, c, want, round)
+			sp.End()
 		}(i, c)
 	}
 	wg.Wait()
