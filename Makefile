@@ -1,14 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-race telemetry-smoke bench bench-json bench-compare fuzz-short repro-fast repro-bench examples
+.PHONY: all ci build vet test test-race telemetry-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
 # The full CI gate, in dependency order: static checks and unit tests, the
 # race pass, the observability smoke (metrics scrape + trace/ledger
-# validation), the decoder fuzz pass, and the hot-path benchmark regression
-# gate.
-ci: vet test test-race telemetry-smoke fuzz-short bench-compare
+# validation), the decoder fuzz pass, the hot-path benchmark regression
+# gate, and the parallel-speedup smoke.
+ci: vet test test-race telemetry-smoke fuzz-short bench-compare bench-smoke
 
 build:
 	go build ./...
@@ -52,16 +52,25 @@ bench:
 # computation) into the current PR's record. Each PR that touches the hot
 # path commits a fresh BENCH_<pr>.json next to the previous ones, so the
 # trajectory stays in-repo.
-BENCH_PREV ?= BENCH_hotpath.json
-BENCH_CUR  ?= BENCH_gemm.json
+BENCH_PREV ?= BENCH_gemm.json
+BENCH_CUR  ?= BENCH_parallel.json
 
 bench-json:
 	go run ./cmd/flbench -bench-json $(BENCH_CUR)
 
 # Gate the current record against the previous PR's: fails when any case
 # regressed by more than 10% ns/op or grew its steady-state allocations.
+# It also warns when either record was made at GOMAXPROCS=1 — such records
+# report parallel_speedup ≈ 1.0 by construction; pass -require-multicore
+# (see cmd/flbench) to turn that warning into a failure on real CI machines.
 bench-compare:
 	go run ./cmd/flbench -bench-compare $(BENCH_PREV),$(BENCH_CUR)
+
+# Assert the parallel kernel path is at least break-even against serial on
+# the two largest Scaling shapes. Skips (with a warning) on single-CPU
+# machines, where the comparison is meaningless.
+bench-smoke:
+	go run ./cmd/flbench -bench-smoke
 
 # A short fuzz pass over the tensor wire decoder (malformed and truncated
 # input must error, never panic or over-allocate).

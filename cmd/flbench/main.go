@@ -16,8 +16,13 @@
 // allocs/op as JSON — the per-PR regression records kept in BENCH_*.json
 // (BENCH_hotpath.json, BENCH_gemm.json, …). With -bench-compare PREV,CUR it
 // diffs two such records and exits non-zero when a case regressed by more
-// than 10% of a median-of-3 ns/op measurement or grew its steady-state
-// allocations (`make bench-compare`).
+// than 10% of a best-of-3 ns/op measurement or grew its steady-state
+// allocations (`make bench-compare`); it warns when either record was made
+// at GOMAXPROCS=1 (whose parallel_speedup columns are ~1.0 by construction)
+// and fails on that with -require-multicore. With -bench-smoke it measures
+// the two largest Scaling shapes serial vs NumCPU-parallel and exits
+// non-zero when the parallel kernel path is not at least break-even
+// (`make bench-smoke`; skipped with a warning on single-CPU machines).
 //
 // With -telemetry-smoke it runs a short in-process federated session against
 // a fresh metric registry, scrapes the /metrics endpoint, and exits non-zero
@@ -40,16 +45,18 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment id (or 'all'); see -list")
-		scale     = flag.String("scale", "bench", "scale preset: bench, fast, or paper")
-		asCSV     = flag.Bool("csv", false, "emit CSV instead of an aligned text table")
-		outPath   = flag.String("o", "", "write the result to this file instead of stdout")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		quiet     = flag.Bool("q", false, "suppress progress logging")
-		benchJSON = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
-		benchCmp  = flag.String("bench-compare", "", "compare two bench JSON records given as PREV,CUR; exit 1 on >10% ns/op regression")
-		smoke     = flag.Bool("telemetry-smoke", false, "run a short instrumented session, scrape /metrics, and fail on missing core series")
-		showTelem = cliflags.Summary()
+		exp        = flag.String("exp", "", "experiment id (or 'all'); see -list")
+		scale      = flag.String("scale", "bench", "scale preset: bench, fast, or paper")
+		asCSV      = flag.Bool("csv", false, "emit CSV instead of an aligned text table")
+		outPath    = flag.String("o", "", "write the result to this file instead of stdout")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		quiet      = flag.Bool("q", false, "suppress progress logging")
+		benchJSON  = flag.String("bench-json", "", "run hot-path micro-benchmarks, write JSON report to this path, and exit")
+		benchCmp   = flag.String("bench-compare", "", "compare two bench JSON records given as PREV,CUR; exit 1 on >10% ns/op regression")
+		benchSmoke = flag.Bool("bench-smoke", false, "assert the parallel kernel path beats serial on the largest shapes; skips with a warning on single-CPU machines")
+		reqMulti   = flag.Bool("require-multicore", false, "with -bench-compare: fail when either record was made at GOMAXPROCS=1 or num_cpu=1")
+		smoke      = flag.Bool("telemetry-smoke", false, "run a short instrumented session, scrape /metrics, and fail on missing core series")
+		showTelem  = cliflags.Summary()
 	)
 	flag.Parse()
 
@@ -62,13 +69,21 @@ func main() {
 		return
 	}
 
+	if *benchSmoke {
+		if err := bench.Smoke(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *benchCmp != "" {
 		prevPath, curPath, ok := strings.Cut(*benchCmp, ",")
 		if !ok {
 			fmt.Fprintln(os.Stderr, "flbench: -bench-compare wants PREV,CUR (two JSON paths)")
 			os.Exit(2)
 		}
-		if err := bench.CompareFiles(prevPath, curPath, os.Stdout); err != nil {
+		if err := bench.CompareFiles(prevPath, curPath, os.Stdout, *reqMulti); err != nil {
 			fmt.Fprintln(os.Stderr, "flbench:", err)
 			os.Exit(1)
 		}

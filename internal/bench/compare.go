@@ -10,9 +10,27 @@ import (
 
 // maxNsRegression is the fractional serial ns/op increase tolerated by
 // Compare before it reports failure: benchmarks recorded on the same
-// machine jitter a few percent run to run; >10% of a median-of-benchRuns
+// machine jitter a few percent run to run; >10% of a best-of-benchRuns
 // measurement is a real regression.
 const maxNsRegression = 0.10
+
+// multicoreWarning returns a human-readable description of why a record's
+// parallel columns are not trustworthy, or "" when the record was made on a
+// machine that could actually run kernels in parallel. A record produced at
+// GOMAXPROCS=1 (or on a single-CPU machine) reports parallel_speedup ≈ 1.0
+// for every Scaling case by construction, so gating a real multi-core record
+// against it silently waives the scaling regression check.
+func multicoreWarning(label string, rep *Report) string {
+	switch {
+	case rep.NumCPU == 0 && rep.GoMaxProcs == 0:
+		return "" // pre-schema record: nothing recorded, nothing to judge
+	case rep.NumCPU == 1:
+		return fmt.Sprintf("%s record was made on a single-CPU machine (num_cpu=1): its parallel_speedup values are ~1.0 by construction", label)
+	case rep.GoMaxProcs == 1:
+		return fmt.Sprintf("%s record was made with GOMAXPROCS=1: its parallel_speedup values are ~1.0 by construction", label)
+	}
+	return ""
+}
 
 // ReadReport loads a BENCH_*.json document.
 func ReadReport(path string) (*Report, error) {
@@ -32,7 +50,25 @@ func ReadReport(path string) (*Report, error) {
 // more than 10% or whose steady-state allocations grew. Cases present in
 // only one report are listed but never fail the gate, so the suite can grow
 // between PRs.
-func Compare(prev, cur *Report, w io.Writer) error {
+//
+// When either record was produced at GOMAXPROCS=1 or on a single-CPU
+// machine, its parallel_speedup columns are ~1.0 by construction; Compare
+// prints a warning, and with requireMulticore set it fails outright — the
+// CI mode for machines where the scaling check is expected to be real.
+func Compare(prev, cur *Report, w io.Writer, requireMulticore bool) error {
+	var warnings []string
+	if msg := multicoreWarning("prev", prev); msg != "" {
+		warnings = append(warnings, msg)
+	}
+	if msg := multicoreWarning("cur", cur); msg != "" {
+		warnings = append(warnings, msg)
+	}
+	for _, msg := range warnings {
+		fmt.Fprintf(w, "warning: %s\n", msg)
+	}
+	if requireMulticore && len(warnings) > 0 {
+		return fmt.Errorf("bench: -require-multicore: %s", joinLines(warnings))
+	}
 	prevByName := make(map[string]Result, len(prev.Results))
 	for _, r := range prev.Results {
 		prevByName[r.Name] = r
@@ -77,7 +113,7 @@ func Compare(prev, cur *Report, w io.Writer) error {
 }
 
 // CompareFiles is Compare over two recorded JSON paths.
-func CompareFiles(prevPath, curPath string, w io.Writer) error {
+func CompareFiles(prevPath, curPath string, w io.Writer, requireMulticore bool) error {
 	prev, err := ReadReport(prevPath)
 	if err != nil {
 		return err
@@ -86,7 +122,7 @@ func CompareFiles(prevPath, curPath string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return Compare(prev, cur, w)
+	return Compare(prev, cur, w, requireMulticore)
 }
 
 func joinLines(lines []string) string {

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// bench-smoke: a fast CI assertion that the parallel kernel path actually
+// goes faster than the serial one. The JSON regression gate only compares
+// serial ns/op between records, so a change that silently serializes the
+// pool (a bad threshold, a scheduler that degrades to one worker) would slip
+// through; this check runs the two largest Scaling shapes once at kernel
+// parallelism 1 and once at NumCPU and fails when the parallel run is not at
+// least break-even.
+
+// smokeShapes are the cases bench-smoke measures: the largest matmul and
+// the conv train step — the two heaviest Scaling cases, where fan-out is
+// unambiguously profitable.
+var smokeShapes = map[string]bool{
+	"matmul/512x256x256": true,
+	"train-step/conv":    true,
+}
+
+// smokeMinSpeedup is the weakest acceptable parallel/serial ratio:
+// "≥ 1 within noise". A genuine multi-core speedup lands well above 1; a
+// serialized or contended pool lands at or below it. 0.9 tolerates scheduler
+// jitter on loaded CI machines without letting a real regression through.
+const smokeMinSpeedup = 0.9
+
+// Smoke measures the smokeShapes once serial and once at NumCPU kernel
+// parallelism and returns an error when any parallel run is slower than
+// smokeMinSpeedup × serial. On a single-CPU machine the speedup is
+// unmeasurable, so it prints a warning and passes — the same waiver the
+// compare gate's multicore warning documents.
+func Smoke(w io.Writer) error {
+	ncpu := runtime.NumCPU()
+	if ncpu < 2 || runtime.GOMAXPROCS(0) < 2 {
+		fmt.Fprintf(w, "bench-smoke: skipped — need ≥2 CPUs to measure parallel speedup (num_cpu=%d, gomaxprocs=%d)\n",
+			ncpu, runtime.GOMAXPROCS(0))
+		return nil
+	}
+	var failures []string
+	for _, c := range Cases() {
+		if !smokeShapes[c.Name] {
+			continue
+		}
+		serial := smokeRun(1, c)
+		par := smokeRun(ncpu, c)
+		speedup := 0.0
+		if par > 0 {
+			speedup = serial / par
+		}
+		fmt.Fprintf(w, "%-24s serial %12.0f ns/op  parallel(%d) %12.0f ns/op  speedup %.2f×\n",
+			c.Name, serial, ncpu, par, speedup)
+		if speedup < smokeMinSpeedup {
+			failures = append(failures, fmt.Sprintf("%s: parallel speedup %.2f× < %.2f×", c.Name, speedup, smokeMinSpeedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: parallel path slower than serial:\n  %s", joinLines(failures))
+	}
+	return nil
+}
+
+// smokeRun is a single (not best-of-benchRuns) measurement at the given
+// kernel parallelism — smoke checks a coarse inequality, not a trajectory,
+// and CI pays for every extra second.
+func smokeRun(par int, c Case) float64 {
+	prev := tensor.SetKernelParallelism(par)
+	defer tensor.SetKernelParallelism(prev)
+	return float64(testing.Benchmark(c.Bench).NsPerOp())
+}

@@ -25,13 +25,9 @@ type Kernel interface {
 // the paper's mean-distance form.
 type LinearKernel struct{}
 
-// Eval returns the inner product.
+// Eval returns the inner product (SIMD dot kernel).
 func (LinearKernel) Eval(x, y []float64) float64 {
-	s := 0.0
-	for i := range x {
-		s += x[i] * y[i]
-	}
-	return s
+	return tensor.DotFloats(x, y)
 }
 
 // Name returns "linear".
@@ -42,14 +38,9 @@ type RBFKernel struct {
 	Gamma float64 // bandwidth γ; must be > 0
 }
 
-// Eval returns exp(-‖x-y‖²/(2γ²)).
+// Eval returns exp(-‖x-y‖²/(2γ²)) (SIMD squared-distance kernel).
 func (k RBFKernel) Eval(x, y []float64) float64 {
-	s := 0.0
-	for i := range x {
-		d := x[i] - y[i]
-		s += d * d
-	}
-	return math.Exp(-s / (2 * k.Gamma * k.Gamma))
+	return math.Exp(-tensor.SquaredDistanceFloats(x, y) / (2 * k.Gamma * k.Gamma))
 }
 
 // Name returns "rbf".
@@ -128,12 +119,7 @@ func gatherRows(ts ...*tensor.Tensor) [][]float64 {
 }
 
 func euclid(x, y []float64) float64 {
-	s := 0.0
-	for i := range x {
-		d := x[i] - y[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(tensor.SquaredDistanceFloats(x, y))
 }
 
 func median(xs []float64) float64 {

@@ -28,17 +28,13 @@ func MMD(a, b *tensor.Tensor) float64 {
 	return math.Sqrt(MMDSquaredMeans(tensor.ColMean(a), tensor.ColMean(b)))
 }
 
-// MMDSquaredMeans returns ‖δa - δb‖² for two feature means.
+// MMDSquaredMeans returns ‖δa - δb‖² for two feature means. The distance
+// runs on the SIMD squared-distance kernel (tensor.SquaredDistanceFloats).
 func MMDSquaredMeans(da, db []float64) float64 {
 	if len(da) != len(db) {
 		panic(fmt.Sprintf("core: MMD dims %d vs %d", len(da), len(db)))
 	}
-	s := 0.0
-	for i := range da {
-		d := da[i] - db[i]
-		s += d * d
-	}
-	return s
+	return tensor.SquaredDistanceFloats(da, db)
 }
 
 // ComputeDelta evaluates δ = (1/n)·Σ φ(x_j) over all of ds with the
@@ -88,10 +84,7 @@ func ComputeDeltaInto(dst []float64, arena *nn.Arena, net *nn.Network, ds *data.
 		ds.GatherInto(idx, x, nil)
 		tensor.AccumColSums(dst, net.Features(x))
 	}
-	inv := 1 / float64(n)
-	for j := range dst {
-		dst[j] *= inv
-	}
+	tensor.ScaleFloats(dst, 1/float64(n))
 }
 
 // RegLoss returns λ·‖δ_batch - target‖², the regularizer value for one
@@ -124,10 +117,10 @@ func RegFeatureGradInto(grad *tensor.Tensor, mean []float64, feat *tensor.Tensor
 	}
 	tensor.ColMeanInto(mean, feat)
 	// Reuse mean as the shared per-row gradient (2λ/B)·(δ_batch - target).
-	scale := 2 * lambda / float64(b)
-	for j := range mean {
-		mean[j] = scale * (mean[j] - target[j])
-	}
+	// Axpy with a = −1 is an exact subtraction (fused or not), so this
+	// matches the scalar form bit for bit.
+	tensor.AxpyFloats(mean, -1, target)
+	tensor.ScaleFloats(mean, 2*lambda/float64(b))
 	for r := 0; r < b; r++ {
 		copy(grad.Row(r), mean)
 	}
@@ -236,17 +229,12 @@ func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
 			continue
 		}
 		contributors++
-		for i, v := range row {
-			dst[i] += v
-		}
+		tensor.AddFloats(dst, row)
 	}
 	if contributors == 0 {
 		return dst
 	}
-	inv := 1 / float64(contributors)
-	for i := range dst {
-		dst[i] *= inv
-	}
+	tensor.ScaleFloats(dst, 1/float64(contributors))
 	return dst
 }
 
@@ -273,24 +261,47 @@ func (t *DeltaTable) TightObjective(k int) float64 {
 	return MMDSquaredMeans(t.rows[k], t.MeanExcluding(k))
 }
 
+// pairwiseParMin is the minimum N·N·Dim volume before PairwiseMMDInto fans
+// the row loop out to the tensor worker pool; below it the dispatch costs
+// more than the distances.
+const pairwiseParMin = 1 << 16
+
 // PairwiseMMDInto fills dst (row-major N×N, regrown only if too small) with
 // the empirical MMD matrix of the current table: dst[i·N+j] = ‖δ^i - δ^j‖,
 // the quantity the regularizer of Eq. (5) drives toward zero. The matrix is
 // symmetric with a zero diagonal; both triangles are filled so consumers
 // can index either way. Staleness is deliberately ignored — the ledger
 // records the distances of the maps as stored, ages and all.
+//
+// Each distance runs on the SIMD squared-distance kernel, and for large
+// tables the upper-triangle rows are computed in parallel on the kernel
+// worker pool: row i writes only dst[i·N+j] and its mirror dst[j·N+i] for
+// j > i, so every element has exactly one writer (the smaller index) and
+// rows are claimed dynamically to balance the triangle's uneven row costs.
 func (t *DeltaTable) PairwiseMMDInto(dst []float64) []float64 {
 	n := t.N
 	if cap(dst) < n*n {
 		dst = make([]float64, n*n)
 	}
 	dst = dst[:n*n]
-	for i := 0; i < n; i++ {
-		dst[i*n+i] = 0
-		for j := i + 1; j < n; j++ {
-			d := math.Sqrt(MMDSquaredMeans(t.rows[i], t.rows[j]))
-			dst[i*n+j], dst[j*n+i] = d, d
+	if n*n*t.Dim < pairwiseParMin || tensor.KernelParallelism() <= 1 {
+		// Closure-free serial path: the parallel branch's func literal
+		// escapes, and building it here would cost the serial path its
+		// zero-allocation steady state.
+		for i := 0; i < n; i++ {
+			t.pairwiseRow(dst, i)
 		}
+		return dst
 	}
+	tensor.ParallelFor(n, func(i int) { t.pairwiseRow(dst, i) })
 	return dst
+}
+
+func (t *DeltaTable) pairwiseRow(dst []float64, i int) {
+	n := t.N
+	dst[i*n+i] = 0
+	for j := i + 1; j < n; j++ {
+		d := math.Sqrt(MMDSquaredMeans(t.rows[i], t.rows[j]))
+		dst[i*n+j], dst[j*n+i] = d, d
+	}
 }

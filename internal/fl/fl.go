@@ -390,18 +390,13 @@ func WeightedAverage(outs []ClientOut) []float64 {
 		if dst == nil {
 			dst = make([]float64, len(o.Params))
 		}
-		for i, v := range o.Params {
-			dst[i] += n * v
-		}
+		tensor.AxpyFloats(dst, n, o.Params)
 		den += n
 	}
 	if dst == nil {
 		panic("fl: WeightedAverage with no reporting clients")
 	}
-	inv := 1 / den
-	for i := range dst {
-		dst[i] *= inv
-	}
+	tensor.ScaleFloats(dst, 1/den)
 	return dst
 }
 
@@ -526,19 +521,15 @@ func LossMap(outs []ClientOut) map[int]float64 {
 
 // UpdateNorms computes each reporting client's update norm ‖w_k − w‖₂
 // against the round's starting global model w. Callers must invoke it
-// before overwriting the global with the new aggregate.
+// before overwriting the global with the new aggregate. The per-client
+// distance runs on the SIMD squared-distance kernel.
 func UpdateNorms(global []float64, outs []ClientOut) map[int]float64 {
 	m := make(map[int]float64, len(outs))
 	for _, o := range outs {
 		if o.Params == nil {
 			continue
 		}
-		s := 0.0
-		for i, v := range o.Params {
-			d := v - global[i]
-			s += d * d
-		}
-		m[o.Client.ID] = math.Sqrt(s)
+		m[o.Client.ID] = math.Sqrt(tensor.SquaredDistanceFloats(o.Params, global))
 	}
 	return m
 }

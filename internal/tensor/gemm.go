@@ -70,7 +70,13 @@ var gemmUseFMA = fmaIsFast()
 // list below; they never shrink.
 type gemmScratch struct {
 	a, b []float64
-	next *gemmScratch
+	// Packed-A block cache for the parallel 2-D schedule (gemm_parallel.go):
+	// a holds the pack of the (cachePc, cacheIc) block of op(A) for job
+	// generation cacheGen. Worker scratches are pinned, so the cache
+	// survives across tile claims (and across jobs until the key misses).
+	cacheGen         uint64
+	cachePc, cacheIc int
+	next             *gemmScratch
 }
 
 // gemmPool is a free list of packing scratch. A sync.Pool would be the
@@ -116,25 +122,20 @@ func growFloats(buf []float64, n int) []float64 {
 // its argument when the corresponding flag is set: a is (m×k) row-major, or
 // (k×m) when transA; b is (k×n) row-major, or (n×k) when transB. Callers
 // wanting out = op(a)·op(b) zero out first (the MatMul*Into wrappers do).
-// Parallel dispatch splits the output rows into micro-tile-aligned ranges
-// within the SetKernelParallelism budget; each range runs the full blocking
-// loop nest with its own packing scratch, so workers share only read-only
-// inputs and write disjoint output rows.
+// Parallel dispatch hands the call to the persistent worker pool's 2-D
+// macro-tile schedule (gemm_parallel.go): B blocks are packed once and
+// shared, and output tiles — not just row bands — are the unit of work, so
+// both tall and wide shapes scale within the SetKernelParallelism budget.
 func gemm(out, a, b *Tensor, m, k, n int, transA, transB bool) {
 	gemmCalls.Inc()
 	gemmFlops.Add(2 * int64(m) * int64(n) * int64(k))
-	w := rowWorkers(m/gemmMR, m*n)
-	if w == 1 {
-		s := gemmGetScratch()
-		gemmRange(out, a, b, k, n, transA, transB, 0, m, s)
-		gemmPutScratch(s)
+	if w := gemmWorkers(m, k, n); w > 1 {
+		gemmParallel(out, a, b, m, k, n, transA, transB, w)
 		return
 	}
-	parallelRows(w, m, gemmMR, func(lo, hi int) {
-		s := gemmGetScratch()
-		gemmRange(out, a, b, k, n, transA, transB, lo, hi, s)
-		gemmPutScratch(s)
-	})
+	s := gemmGetScratch()
+	gemmRange(out, a, b, k, n, transA, transB, 0, m, s)
+	gemmPutScratch(s)
 }
 
 // gemmRange runs the full blocking loop nest for output rows [loM, hiM).

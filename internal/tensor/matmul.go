@@ -3,7 +3,6 @@ package tensor
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -44,41 +43,42 @@ func KernelParallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// rowWorkers decides how many goroutines a kernel over m independent row
-// units and `work` total output elements should use; 1 means serial. The
-// serial case is handled inline at each kernel's call site — not inside a
-// dispatcher taking a closure — so the steady-state small-kernel path
-// allocates nothing.
-func rowWorkers(m, work int) int {
-	workers := KernelParallelism()
-	if work < parallelThreshold || workers <= 1 || m < 2 {
-		return 1
-	}
-	if workers > m {
-		workers = m
-	}
-	return workers
-}
-
-// parallelRows splits [0,m) into contiguous chunks across workers
-// goroutines, with chunk boundaries rounded up to a multiple of align (≥1).
-// The final chunk runs on the calling goroutine, so a call with W workers
-// spawns W−1 goroutines instead of spawning W and immediately blocking on
-// the WaitGroup. Callers must have decided workers > 1 via rowWorkers.
+// parallelRows splits [0,m) into contiguous non-empty chunks — boundaries
+// aligned to a multiple of align (≥1) — and runs fn over them on the kernel
+// worker pool, the caller included. workers is clamped to the number of
+// align-units, so every chunk is non-empty: the old chunk-rounding scheme
+// could leave the final (caller-run) chunk empty, or strand workers with no
+// range at all, when ⌈m/workers⌉ rounded up to align overshot m. Units are
+// spread as evenly as possible (the first units%workers chunks get one
+// extra), so no worker waits on a chunk twice the size of its neighbour's.
 func parallelRows(workers, m, align int, fn func(lo, hi int)) {
-	chunk := (m + workers - 1) / workers
-	chunk = (chunk + align - 1) / align * align
-	var wg sync.WaitGroup
-	lo := 0
-	for ; lo+chunk < m; lo += chunk {
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, lo+chunk)
+	if m <= 0 {
+		return
 	}
-	fn(lo, m)
-	wg.Wait()
+	if align < 1 {
+		align = 1
+	}
+	units := (m + align - 1) / align
+	if workers > units {
+		workers = units
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	q, r := units/workers, units%workers
+	ParallelFor(workers, func(w int) {
+		lo := w*q + min(w, r)
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		lo, hi = lo*align, hi*align
+		if hi > m {
+			hi = m
+		}
+		fn(lo, hi)
+	})
 }
 
 // MatMul returns a×b for rank-2 tensors with inner dimensions matching:

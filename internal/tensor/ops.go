@@ -5,13 +5,23 @@ import (
 	"math"
 )
 
+// The elementwise Tensor operations below are wrappers over the flat
+// []float64 kernels in elem.go (AVX2-dispatched with a pure-Go fallback).
+// The Into variants allow out to alias an operand; they detect the alias and
+// pick the matching in-place kernel, falling back to copy-then-kernel when
+// out is distinct storage.
+
+// sameData reports whether two slices share a backing array start.
+func sameData(a, b []float64) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
 // Add returns t + u elementwise as a new tensor.
 func Add(t, u *Tensor) *Tensor {
 	mustSameShape("Add", t, u)
 	out := New(t.shape...)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] + u.Data[i]
-	}
+	copy(out.Data, t.Data)
+	AddFloats(out.Data, u.Data)
 	return out
 }
 
@@ -19,9 +29,8 @@ func Add(t, u *Tensor) *Tensor {
 func Sub(t, u *Tensor) *Tensor {
 	mustSameShape("Sub", t, u)
 	out := New(t.shape...)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] - u.Data[i]
-	}
+	copy(out.Data, t.Data)
+	SubFloats(out.Data, u.Data)
 	return out
 }
 
@@ -29,18 +38,16 @@ func Sub(t, u *Tensor) *Tensor {
 func Mul(t, u *Tensor) *Tensor {
 	mustSameShape("Mul", t, u)
 	out := New(t.shape...)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] * u.Data[i]
-	}
+	copy(out.Data, t.Data)
+	MulFloats(out.Data, u.Data)
 	return out
 }
 
 // Scale returns a*t as a new tensor.
 func Scale(t *Tensor, a float64) *Tensor {
 	out := New(t.shape...)
-	for i := range t.Data {
-		out.Data[i] = a * t.Data[i]
-	}
+	copy(out.Data, t.Data)
+	ScaleFloats(out.Data, a)
 	return out
 }
 
@@ -48,8 +55,14 @@ func Scale(t *Tensor, a float64) *Tensor {
 func AddInto(out, t, u *Tensor) *Tensor {
 	mustSameShape("AddInto", t, u)
 	mustSameShape("AddInto", out, t)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] + u.Data[i]
+	switch {
+	case sameData(out.Data, t.Data):
+		AddFloats(out.Data, u.Data)
+	case sameData(out.Data, u.Data):
+		AddFloats(out.Data, t.Data)
+	default:
+		copy(out.Data, t.Data)
+		AddFloats(out.Data, u.Data)
 	}
 	return out
 }
@@ -58,8 +71,17 @@ func AddInto(out, t, u *Tensor) *Tensor {
 func SubInto(out, t, u *Tensor) *Tensor {
 	mustSameShape("SubInto", t, u)
 	mustSameShape("SubInto", out, t)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] - u.Data[i]
+	switch {
+	case sameData(out.Data, t.Data):
+		SubFloats(out.Data, u.Data)
+	case sameData(out.Data, u.Data):
+		// out = t - out has no in-place kernel; the scalar loop is exact.
+		for i := range t.Data {
+			out.Data[i] = t.Data[i] - u.Data[i]
+		}
+	default:
+		copy(out.Data, t.Data)
+		SubFloats(out.Data, u.Data)
 	}
 	return out
 }
@@ -68,8 +90,14 @@ func SubInto(out, t, u *Tensor) *Tensor {
 func MulInto(out, t, u *Tensor) *Tensor {
 	mustSameShape("MulInto", t, u)
 	mustSameShape("MulInto", out, t)
-	for i := range t.Data {
-		out.Data[i] = t.Data[i] * u.Data[i]
+	switch {
+	case sameData(out.Data, t.Data):
+		MulFloats(out.Data, u.Data)
+	case sameData(out.Data, u.Data):
+		MulFloats(out.Data, t.Data)
+	default:
+		copy(out.Data, t.Data)
+		MulFloats(out.Data, u.Data)
 	}
 	return out
 }
@@ -77,52 +105,39 @@ func MulInto(out, t, u *Tensor) *Tensor {
 // ScaleInto sets out = a*t and returns out. out may alias t.
 func ScaleInto(out, t *Tensor, a float64) *Tensor {
 	mustSameShape("ScaleInto", out, t)
-	for i := range t.Data {
-		out.Data[i] = a * t.Data[i]
+	if !sameData(out.Data, t.Data) {
+		copy(out.Data, t.Data)
 	}
+	ScaleFloats(out.Data, a)
 	return out
 }
 
 // AddInPlace sets t += u.
 func (t *Tensor) AddInPlace(u *Tensor) {
 	mustSameShape("AddInPlace", t, u)
-	for i := range t.Data {
-		t.Data[i] += u.Data[i]
-	}
+	AddFloats(t.Data, u.Data)
 }
 
 // SubInPlace sets t -= u.
 func (t *Tensor) SubInPlace(u *Tensor) {
 	mustSameShape("SubInPlace", t, u)
-	for i := range t.Data {
-		t.Data[i] -= u.Data[i]
-	}
+	SubFloats(t.Data, u.Data)
 }
 
 // ScaleInPlace sets t *= a.
 func (t *Tensor) ScaleInPlace(a float64) {
-	for i := range t.Data {
-		t.Data[i] *= a
-	}
+	ScaleFloats(t.Data, a)
 }
 
 // Axpy sets t += a*u (the BLAS axpy primitive). It is the hot path of every
 // optimizer step and of federated aggregation.
 func (t *Tensor) Axpy(a float64, u *Tensor) {
 	mustSameShape("Axpy", t, u)
-	for i := range t.Data {
-		t.Data[i] += a * u.Data[i]
-	}
+	AxpyFloats(t.Data, a, u.Data)
 }
 
 // Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
-	s := 0.0
-	for _, v := range t.Data {
-		s += v
-	}
-	return s
-}
+func (t *Tensor) Sum() float64 { return SumFloats(t.Data) }
 
 // Mean returns the arithmetic mean of all elements.
 func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
@@ -132,20 +147,12 @@ func Dot(t, u *Tensor) float64 {
 	if len(t.Data) != len(u.Data) {
 		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.Data), len(u.Data)))
 	}
-	s := 0.0
-	for i := range t.Data {
-		s += t.Data[i] * u.Data[i]
-	}
-	return s
+	return DotFloats(t.Data, u.Data)
 }
 
 // Norm returns the Euclidean (L2) norm of t viewed as a flat vector.
 func (t *Tensor) Norm() float64 {
-	s := 0.0
-	for _, v := range t.Data {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(DotFloats(t.Data, t.Data))
 }
 
 // SquaredDistance returns ||t-u||² over the flattened elements.
@@ -153,12 +160,7 @@ func SquaredDistance(t, u *Tensor) float64 {
 	if len(t.Data) != len(u.Data) {
 		panic(fmt.Sprintf("tensor: SquaredDistance size mismatch %d vs %d", len(t.Data), len(u.Data)))
 	}
-	s := 0.0
-	for i := range t.Data {
-		d := t.Data[i] - u.Data[i]
-		s += d * d
-	}
-	return s
+	return SquaredDistanceFloats(t.Data, u.Data)
 }
 
 // MaxIndex returns the index of the largest element of a flat vector.
@@ -193,10 +195,7 @@ func ColMeanInto(dst []float64, t *Tensor) []float64 {
 		dst[j] = 0
 	}
 	AccumColSums(dst, t)
-	inv := 1.0 / float64(n)
-	for j := range dst {
-		dst[j] *= inv
-	}
+	ScaleFloats(dst, 1.0/float64(n))
 	return dst
 }
 
@@ -208,10 +207,7 @@ func (t *Tensor) AddRowVector(v []float64) {
 	}
 	n, d := t.shape[0], t.shape[1]
 	for i := 0; i < n; i++ {
-		row := t.Data[i*d : (i+1)*d]
-		for j := range row {
-			row[j] += v[j]
-		}
+		AddFloats(t.Data[i*d:(i+1)*d], v)
 	}
 }
 
@@ -233,10 +229,7 @@ func AccumColSums(dst []float64, t *Tensor) {
 	}
 	n, d := t.shape[0], t.shape[1]
 	for i := 0; i < n; i++ {
-		row := t.Data[i*d : (i+1)*d]
-		for j, v := range row {
-			dst[j] += v
-		}
+		AddFloats(dst, t.Data[i*d:(i+1)*d])
 	}
 }
 

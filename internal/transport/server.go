@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/telemetry"
+	"repro/internal/tensor"
 )
 
 // Algorithm selects the server-side aggregation protocol.
@@ -673,18 +674,13 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			continue
 		}
 		wi := s.samples[i] / wsum
-		for j, v := range m.Params {
-			next[j] += wi * v
-		}
+		tensor.AxpyFloats(next, wi, m.Params)
 		loss += wi * m.Loss
 		if s.cfg.Ledger != nil {
 			// Update norm ‖w_k − w_global‖ against the model the client
-			// trained from (s.global is not overwritten until below).
-			d := 0.0
-			for j, v := range m.Params {
-				dv := v - s.global[j]
-				d += dv * dv
-			}
+			// trained from (s.global is not overwritten until below),
+			// on the SIMD squared-distance kernel.
+			d := tensor.SquaredDistanceFloats(m.Params, s.global)
 			rec.ClientID = append(rec.ClientID, i)
 			rec.ClientLoss = append(rec.ClientLoss, m.Loss)
 			rec.ClientNorm = append(rec.ClientNorm, math.Sqrt(d))
