@@ -41,6 +41,10 @@ telemetry-smoke:
 	test -s $$tmp/trace.jsonl && test -s $$tmp/ledger.jsonl && \
 	go run ./cmd/fltrace -trace $$tmp/trace.jsonl -ledger $$tmp/ledger.jsonl >/dev/null && \
 	go run ./cmd/fltrace -ledger $$tmp/ledger.jsonl >/dev/null && \
+	go run ./cmd/flsim -dataset mnist -method rfedavg+ -clients 4 -rounds 2 \
+		-e 2 -b 16 -train 400 -test 100 -compress q8 \
+		-ledger $$tmp/ledger-q8.jsonl >/dev/null && \
+	grep -q '"up_scheme":"q8"' $$tmp/ledger-q8.jsonl && \
 	rm -rf $$tmp && echo "trace/ledger smoke passed"
 
 # The full benchmark harness: one testing.B benchmark per paper table and
@@ -72,10 +76,13 @@ bench-compare:
 bench-smoke:
 	go run ./cmd/flbench -bench-smoke
 
-# A short fuzz pass over the tensor wire decoder (malformed and truncated
-# input must error, never panic or over-allocate).
+# A short fuzz pass over the two wire decoders: the tensor codec and the
+# transport frame reader with its packed (compressed) payload headers.
+# Malformed, truncated, or forged input must error, never panic or
+# over-allocate.
 fuzz-short:
 	go test ./internal/tensor -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	go test ./internal/transport -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
 
 # Regenerate every table/figure at the fast scale (minutes each; raw
 # outputs land in results/).

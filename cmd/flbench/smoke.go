@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -35,6 +36,13 @@ var smokeSeries = []string{
 	`rfl_delta_stale_rows`,
 }
 
+// codecSeries must additionally appear when the session negotiates the int8
+// uplink codec.
+var codecSeries = []string{
+	`rfl_codec_payload_bytes_total{dir="recv",scheme="q8"}`,
+	`rfl_codec_payload_bytes_total{dir="sent",scheme="dense"}`,
+}
+
 // telemetrySmoke runs a 3-client, 2-round rFedAvg+ session over in-process
 // pipes against a fresh registry served on a loopback listener, then
 // scrapes /metrics like a Prometheus agent would and checks every core
@@ -48,7 +56,7 @@ func telemetrySmoke(w io.Writer) error {
 	defer srv.Close()
 	fmt.Fprintf(w, "scrape target: http://%s/metrics\n", srv.Addr())
 
-	if err := runSmokeSession(reg); err != nil {
+	if err := runSmokeSession(reg, transport.CodecPolicy{}); err != nil {
 		return err
 	}
 
@@ -73,12 +81,64 @@ func telemetrySmoke(w io.Writer) error {
 		return fmt.Errorf("/debug/pprof/: %w", err)
 	}
 	fmt.Fprintf(w, "all %d core series present; /healthz and /debug/pprof/ responding\n", len(smokeSeries))
+	return codecSmoke(w, reg)
+}
+
+// codecSmoke reruns the session with the int8 uplink codec on a second
+// registry and gates on the compression contract: the codec byte series
+// appear in a scrape, the server's received bytes shrink at least 4× against
+// the dense run, and the process-wide reconstruction-error histogram
+// engaged.
+func codecSmoke(w io.Writer, dense *telemetry.Registry) error {
+	reg := telemetry.NewRegistry()
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	if err := runSmokeSession(reg, transport.CodecPolicy{
+		Update: compress.SchemeInt8,
+		Delta:  compress.SchemeInt8,
+	}); err != nil {
+		return fmt.Errorf("codec session: %w", err)
+	}
+
+	body, err := get(srv.Addr(), "/metrics")
+	if err != nil {
+		return err
+	}
+	var missing []string
+	for _, s := range codecSeries {
+		if !strings.Contains(body, s) {
+			missing = append(missing, s)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("codec scrape is missing %d series:\n  %s\n--- scrape ---\n%s",
+			len(missing), strings.Join(missing, "\n  "), body)
+	}
+
+	const recvSeries = `rfl_bytes_received_total{algo="rfedavg+"}`
+	denseUp := dense.Counter(recvSeries, "").Value()
+	q8Up := reg.Counter(recvSeries, "").Value()
+	if denseUp == 0 || q8Up == 0 {
+		return fmt.Errorf("uplink byte counters empty: dense %d, q8 %d", denseUp, q8Up)
+	}
+	if q8Up*4 > denseUp {
+		return fmt.Errorf("q8 uplink %d B is not ≥4× below dense %d B", q8Up, denseUp)
+	}
+	if n := compress.ReconErrCount(compress.SchemeInt8); n == 0 {
+		return fmt.Errorf("no q8 reconstruction-error observations recorded")
+	}
+	fmt.Fprintf(w, "codec smoke: q8 uplink %d B vs dense %d B (%.1fx reduction)\n",
+		q8Up, denseUp, float64(denseUp)/float64(q8Up))
 	return nil
 }
 
 // runSmokeSession drives a short in-process federated session recording
-// into reg.
-func runSmokeSession(reg *telemetry.Registry) error {
+// into reg, under the given wire-codec policy.
+func runSmokeSession(reg *telemetry.Registry, codec transport.CodecPolicy) error {
 	const clients, rounds = 3, 2
 	train := data.SynthMNIST(240, 1)
 	parts := data.PartitionBySimilarity(train.Y, clients, 0, rand.New(rand.NewSource(2)))
@@ -108,6 +168,7 @@ func runSmokeSession(reg *telemetry.Registry) error {
 		InitialParams: net.GetFlat(),
 		FeatureDim:    net.FeatureDim,
 		Seed:          5,
+		Codec:         codec,
 		Metrics:       reg,
 	}, serverConns)
 	wg.Wait()

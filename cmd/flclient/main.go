@@ -41,6 +41,8 @@ func main() {
 		dataSeed   = flag.Int64("dataseed", 1, "data-generation seed (must match other clients)")
 		retries    = flag.Int("retries", 0, "re-dial and rejoin this many times after a connection failure")
 		backoff    = flag.Duration("backoff", 2*time.Second, "wait between rejoin attempts")
+		compressV  = cliflags.Compress("all")
+		compressEF = flag.Bool("compress-ef", false, "carry quantization residuals across rounds (error feedback; breaks bitwise resume)")
 		showTelem  = cliflags.Summary()
 		obs        = cliflags.Register(true, true, false)
 	)
@@ -51,6 +53,11 @@ func main() {
 	}
 	if *shard < 0 || *shard >= *of {
 		fmt.Fprintf(os.Stderr, "flclient: shard %d outside [0, %d)\n", *shard, *of)
+		os.Exit(2)
+	}
+	caps, err := cliflags.ParseCompressCaps(*compressV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
 		os.Exit(2)
 	}
 
@@ -92,17 +99,19 @@ func main() {
 	fmt.Printf("shard %d/%d: %d samples, %d classes\n", *shard, *of, mine.Len(), mine.Classes)
 
 	cfg := transport.ClientConfig{
-		Builder:      builder,
-		ModelSeed:    *modelSeed,
-		Seed:         int64(*shard + 1),
-		ClientID:     *shard,
-		LocalSteps:   *e,
-		BatchSize:    *b,
-		LR:           opt.ConstLR(*lr),
-		NewOptimizer: newOpt,
-		Lambda:       *lambda,
-		Tracer:       obs.Tracer,
-		Events:       obs.Events,
+		Builder:       builder,
+		ModelSeed:     *modelSeed,
+		Seed:          int64(*shard + 1),
+		ClientID:      *shard,
+		LocalSteps:    *e,
+		BatchSize:     *b,
+		LR:            opt.ConstLR(*lr),
+		NewOptimizer:  newOpt,
+		Lambda:        *lambda,
+		Caps:          caps,
+		ErrorFeedback: *compressEF,
+		Tracer:        obs.Tracer,
+		Events:        obs.Events,
 	}
 
 	// Dial-and-train with a rejoin loop: on a mid-session connection

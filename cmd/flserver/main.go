@@ -56,6 +56,9 @@ func main() {
 		sr         = flag.Float64("sr", 1.0, "sample ratio per round (partial participation)")
 		seed       = flag.Int64("seed", 1, "cohort-sampling seed")
 
+		compressUp    = cliflags.Compress("dense")
+		compressBcast = flag.String("compress-bcast", "dense", "wire-compression scheme for the model broadcast: dense, f32, q8, or q1")
+
 		deadline   = flag.Duration("deadline", 30*time.Second, "per-phase deadline; clients that miss it are evicted (0 disables)")
 		minClients = flag.Int("min-clients", 1, "quorum: rounds with fewer valid updates are retried")
 		maxRetries = flag.Int("max-retries", 2, "consecutive failed attempts of one round before aborting")
@@ -82,6 +85,17 @@ func main() {
 		}
 		defer ts.Close()
 		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", ts.Addr())
+	}
+
+	upScheme, err := cliflags.ParseCompress(*compressUp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(2)
+	}
+	bcastScheme, err := cliflags.ParseCompress(*compressBcast)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver: -compress-bcast:", err)
+		os.Exit(2)
 	}
 
 	builder, err := modelFor(*dataset, *featureDim)
@@ -141,6 +155,11 @@ func main() {
 		Rejoin:          rejoin,
 		CheckpointPath:  *ckptPath,
 		CheckpointEvery: *ckptEvery,
+		Codec: transport.CodecPolicy{
+			Broadcast: bcastScheme,
+			Update:    upScheme,
+			Delta:     upScheme,
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Printf("[fault] "+format+"\n", args...)
 		},

@@ -52,6 +52,8 @@ func main() {
 		testN      = flag.Int("test", 800, "test samples (image datasets)")
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		seed       = flag.Int64("seed", 1, "random seed")
+		compressV  = cliflags.Compress("dense")
+		compressEF = flag.Bool("compress-ef", false, "carry quantization residuals across rounds (error feedback)")
 		showTelem  = cliflags.Summary()
 		obs        = cliflags.Register(true, true, true)
 	)
@@ -61,6 +63,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer obs.Close()
+
+	scheme, err := cliflags.ParseCompress(*compressV)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(2)
+	}
 
 	train, test, builder, defLR, newOpt, err := makeData(*dataset, *trainN, *testN, *clients, *featureDim, *seed)
 	if err != nil {
@@ -96,6 +104,8 @@ func main() {
 		SampleRatio:  *sr,
 		LR:           opt.ConstLR(*lr),
 		NewOptimizer: newOpt,
+		Compress:     scheme,
+		CompressEF:   *compressEF,
 		Tracer:       obs.Tracer,
 		Ledger:       obs.Ledger,
 		Events:       obs.Events,

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/fl"
@@ -78,6 +79,31 @@ func trainStepCase(name string, builder nn.Builder, ds *data.Dataset, batch int)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			f.LocalTrain(w, c, rng, o)
+		}
+	}}
+}
+
+// codecCase benchmarks one wire-codec scheme's encode+decode round trip on
+// an n-element vector — the per-client cost the transport layer adds to
+// every compressed round. Both directions run on retained buffers, so the
+// steady state must stay at 0 allocs/op.
+func codecCase(name string, s compress.Scheme, n int) Case {
+	return Case{Name: name, Bench: func(b *testing.B) {
+		r := rand.New(rand.NewSource(9))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = r.NormFloat64()
+		}
+		buf := make([]byte, compress.EncodedBytes(s, n))
+		recon := make([]float64, n)
+		b.SetBytes(int64(8 * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			compress.EncodeInto(s, buf, v, r)
+			if err := compress.DecodeInto(recon, s, buf); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}}
 }
@@ -164,6 +190,9 @@ func Cases() []Case {
 				dst = tbl.PairwiseMMDInto(dst)
 			}
 		}},
+		codecCase("codec/q8-16k", compress.SchemeInt8, 16*1024),
+		codecCase("codec/q8-64k", compress.SchemeInt8, 64*1024),
+		codecCase("codec/q1-64k", compress.SchemeBit1, 64*1024),
 	}
 }
 

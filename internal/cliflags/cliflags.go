@@ -11,15 +11,17 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/compress"
 	"repro/internal/telemetry"
 )
 
 // Shared help strings — the single source of the -h wording.
 const (
-	eventsHelp  = "append JSONL lifecycle events (join/skip/done, evict/rejoin/retry/checkpoint/resume) to this file"
-	traceHelp   = "write JSONL trace spans (session/round/per-client phases) to this file; render with fltrace -trace"
-	ledgerHelp  = "write one JSONL training-dynamics record per round to this file; render with fltrace -ledger"
-	summaryHelp = "print the process metric registry summary after the run"
+	eventsHelp   = "append JSONL lifecycle events (join/skip/done, evict/rejoin/retry/checkpoint/resume) to this file"
+	traceHelp    = "write JSONL trace spans (session/round/per-client phases) to this file; render with fltrace -trace"
+	ledgerHelp   = "write one JSONL training-dynamics record per round to this file; render with fltrace -ledger"
+	summaryHelp  = "print the process metric registry summary after the run"
+	compressHelp = "wire-compression scheme for uplink payloads: dense (off), f32, q8, or q1"
 )
 
 // Telemetry holds the observability flags a binary registered and, after
@@ -55,6 +57,41 @@ func Register(events, trace, ledger bool) *Telemetry {
 // Summary installs the shared -telemetry flag.
 func Summary() *bool {
 	return flag.Bool("telemetry", false, summaryHelp)
+}
+
+// Compress installs the shared -compress flag with the given default
+// ("dense" for drivers that pick a codec, "all" for clients that advertise
+// acceptance). Resolve the parsed value with ParseCompress or
+// ParseCompressCaps after flag.Parse.
+func Compress(def string) *string {
+	help := compressHelp
+	if def == "all" {
+		help = compressHelp + "; all = accept every scheme the server offers"
+	}
+	return flag.String("compress", def, help)
+}
+
+// ParseCompress resolves a -compress value to the wire codec scheme.
+func ParseCompress(v string) (compress.Scheme, error) {
+	s, err := compress.ParseScheme(v)
+	if err != nil {
+		return 0, fmt.Errorf("-compress: %w", err)
+	}
+	return s, nil
+}
+
+// ParseCompressCaps resolves a client's -compress value to its advertised
+// capability set: "all" accepts every scheme; a named scheme accepts dense
+// plus that scheme only.
+func ParseCompressCaps(v string) (compress.Caps, error) {
+	if v == "all" {
+		return compress.AllCaps(), nil
+	}
+	s, err := ParseCompress(v)
+	if err != nil {
+		return 0, err
+	}
+	return compress.CapsOf(compress.SchemeDense, s), nil
 }
 
 // Open creates the sinks for every flag that was set. The events log is

@@ -30,6 +30,42 @@ type Payload interface {
 	Bytes() int64
 }
 
+// IntoPayload is implemented by payloads that can reconstruct into a
+// caller-provided buffer without allocating. Every built-in payload
+// implements it.
+type IntoPayload interface {
+	// DecompressInto reconstructs the vector into dst, whose length must be
+	// the original element count.
+	DecompressInto(dst []float64)
+}
+
+// DecompressInto reconstructs p into dst, using the zero-alloc path when p
+// implements IntoPayload and falling back to Decompress+copy otherwise.
+func DecompressInto(p Payload, dst []float64) {
+	if ip, ok := p.(IntoPayload); ok {
+		ip.DecompressInto(dst)
+		return
+	}
+	copy(dst, p.Decompress(len(dst)))
+}
+
+// ReuseCompressor is implemented by compressors with a buffer-reusing
+// encode path: CompressReuse may cannibalize prev's backing storage (the
+// caller must not touch prev afterwards) and allocates nothing once the
+// buffers have grown to steady state.
+type ReuseCompressor interface {
+	CompressReuse(prev Payload, v []float64, rng *rand.Rand) Payload
+}
+
+// CompressReuse re-encodes v, reusing prev's buffers when the compressor
+// supports it (prev may be nil); otherwise it falls back to Compress.
+func CompressReuse(c Compressor, prev Payload, v []float64, rng *rand.Rand) Payload {
+	if rc, ok := c.(ReuseCompressor); ok {
+		return rc.CompressReuse(prev, v, rng)
+	}
+	return c.Compress(v, rng)
+}
+
 // --- Identity ---
 
 // Identity is the no-op compressor (dense float64).
@@ -40,19 +76,38 @@ func (Identity) Name() string { return "identity" }
 
 // Compress copies v.
 func (Identity) Compress(v []float64, rng *rand.Rand) Payload {
-	return densePayload(append([]float64(nil), v...))
+	return &densePayload{v: append([]float64(nil), v...)}
 }
 
-type densePayload []float64
-
-func (p densePayload) Decompress(n int) []float64 {
-	if n != len(p) {
-		panic(fmt.Sprintf("compress: dense payload has %d values, want %d", len(p), n))
+// CompressReuse copies v into prev's backing array when it fits, so the
+// steady state of a round loop allocates nothing.
+func (Identity) CompressReuse(prev Payload, v []float64, rng *rand.Rand) Payload {
+	if dp, ok := prev.(*densePayload); ok && cap(dp.v) >= len(v) {
+		dp.v = dp.v[:len(v)]
+		copy(dp.v, v)
+		return dp
 	}
-	return append([]float64(nil), p...)
+	return &densePayload{v: append([]float64(nil), v...)}
 }
 
-func (p densePayload) Bytes() int64 { return int64(8 * len(p)) }
+type densePayload struct{ v []float64 }
+
+func (p *densePayload) Decompress(n int) []float64 {
+	if n != len(p.v) {
+		panic(fmt.Sprintf("compress: dense payload has %d values, want %d", len(p.v), n))
+	}
+	return append([]float64(nil), p.v...)
+}
+
+// DecompressInto copies the payload into dst without allocating.
+func (p *densePayload) DecompressInto(dst []float64) {
+	if len(dst) != len(p.v) {
+		panic(fmt.Sprintf("compress: dense payload has %d values, want %d", len(p.v), len(dst)))
+	}
+	copy(dst, p.v)
+}
+
+func (p *densePayload) Bytes() int64 { return int64(8 * len(p.v)) }
 
 // --- Stochastic uniform quantization (QSGD) ---
 
@@ -77,6 +132,17 @@ func (q Quantizer) Name() string { return fmt.Sprintf("q%d", q.Bits) }
 // Compress quantizes each coordinate to the grid {-L..L}·(max/L)
 // stochastically, preserving the expectation.
 func (q Quantizer) Compress(v []float64, rng *rand.Rand) Payload {
+	return q.CompressReuse(nil, v, rng)
+}
+
+// CompressReuse is Compress reusing prev's level buffer when it fits.
+func (q Quantizer) CompressReuse(prev Payload, v []float64, rng *rand.Rand) Payload {
+	p, ok := prev.(*quantPayload)
+	if !ok || cap(p.q) < len(v) {
+		p = &quantPayload{q: make([]int32, len(v))}
+	}
+	p.bits = q.Bits
+	p.q = p.q[:len(v)]
 	levels := int64(1)<<q.Bits - 1
 	maxAbs := 0.0
 	for _, x := range v {
@@ -84,8 +150,11 @@ func (q Quantizer) Compress(v []float64, rng *rand.Rand) Payload {
 			maxAbs = a
 		}
 	}
-	p := &quantPayload{bits: q.Bits, scale: maxAbs, q: make([]int32, len(v))}
+	p.scale = maxAbs
 	if maxAbs == 0 {
+		for i := range p.q {
+			p.q[i] = 0
+		}
 		return p
 	}
 	for i, x := range v {
@@ -108,18 +177,26 @@ type quantPayload struct {
 }
 
 func (p *quantPayload) Decompress(n int) []float64 {
-	if n != len(p.q) {
-		panic(fmt.Sprintf("compress: quantized payload has %d values, want %d", len(p.q), n))
-	}
 	out := make([]float64, n)
+	p.DecompressInto(out)
+	return out
+}
+
+// DecompressInto reconstructs into dst without allocating.
+func (p *quantPayload) DecompressInto(dst []float64) {
+	if len(dst) != len(p.q) {
+		panic(fmt.Sprintf("compress: quantized payload has %d values, want %d", len(p.q), len(dst)))
+	}
 	if p.scale == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	levels := float64(int64(1)<<p.bits - 1)
 	for i, qv := range p.q {
-		out[i] = float64(qv) / levels * p.scale
+		dst[i] = float64(qv) / levels * p.scale
 	}
-	return out
 }
 
 func (p *quantPayload) Bytes() int64 {
@@ -148,17 +225,32 @@ func (t TopK) Name() string { return fmt.Sprintf("top%d", t.K) }
 
 // Compress selects the K largest |v_i|.
 func (t TopK) Compress(v []float64, rng *rand.Rand) Payload {
+	return t.CompressReuse(nil, v, rng)
+}
+
+// CompressReuse is Compress reusing prev's index/value buffers and
+// quickselect scratch when they fit.
+func (t TopK) CompressReuse(prev Payload, v []float64, rng *rand.Rand) Payload {
+	p, ok := prev.(*sparsePayload)
+	if !ok {
+		p = &sparsePayload{}
+	}
+	p.n = len(v)
+	p.idx = p.idx[:0]
+	p.val = p.val[:0]
 	k := t.K
 	if k > len(v) {
 		k = len(v)
 	}
-	// Threshold via quickselect on magnitudes.
-	mags := make([]float64, len(v))
+	// Threshold via quickselect on magnitudes (destructive, so on scratch).
+	if cap(p.mags) < len(v) {
+		p.mags = make([]float64, len(v))
+	}
+	mags := p.mags[:len(v)]
 	for i, x := range v {
 		mags[i] = math.Abs(x)
 	}
 	thresh := kthLargest(mags, k)
-	p := &sparsePayload{n: len(v)}
 	for i, x := range v {
 		if math.Abs(x) >= thresh && len(p.idx) < k {
 			p.idx = append(p.idx, int32(i))
@@ -169,20 +261,29 @@ func (t TopK) Compress(v []float64, rng *rand.Rand) Payload {
 }
 
 type sparsePayload struct {
-	n   int
-	idx []int32
-	val []float64
+	n    int
+	idx  []int32
+	val  []float64
+	mags []float64 // quickselect scratch, not part of the wire payload
 }
 
 func (p *sparsePayload) Decompress(n int) []float64 {
-	if n != p.n {
-		panic(fmt.Sprintf("compress: sparse payload for %d values, want %d", p.n, n))
-	}
 	out := make([]float64, n)
-	for i, ix := range p.idx {
-		out[ix] = p.val[i]
-	}
+	p.DecompressInto(out)
 	return out
+}
+
+// DecompressInto reconstructs into dst without allocating.
+func (p *sparsePayload) DecompressInto(dst []float64) {
+	if len(dst) != p.n {
+		panic(fmt.Sprintf("compress: sparse payload for %d values, want %d", p.n, len(dst)))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, ix := range p.idx {
+		dst[ix] = p.val[i]
+	}
 }
 
 func (p *sparsePayload) Bytes() int64 { return int64(len(p.idx))*(4+8) + 4 }

@@ -182,7 +182,7 @@ func TestCountSketchMergeRejectsMismatch(t *testing.T) {
 	if err := a.Merge(b); err == nil {
 		t.Fatal("mismatched sketch merge accepted")
 	}
-	if err := a.Merge(densePayload{1}); err == nil {
+	if err := a.Merge(&densePayload{v: []float64{1}}); err == nil {
 		t.Fatal("cross-type merge accepted")
 	}
 }

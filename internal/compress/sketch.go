@@ -44,7 +44,21 @@ func (c CountSketch) hash(row, i int) (bucket int, sign float64) {
 
 // Compress sketches v.
 func (c CountSketch) Compress(v []float64, rng *rand.Rand) Payload {
-	p := &sketchPayload{cfg: c, table: make([]float64, c.Rows*c.Width)}
+	return c.CompressReuse(nil, v, rng)
+}
+
+// CompressReuse is Compress reusing prev's counter table when it was built
+// by a sketch of the same configuration.
+func (c CountSketch) CompressReuse(prev Payload, v []float64, rng *rand.Rand) Payload {
+	p, ok := prev.(*sketchPayload)
+	if !ok || len(p.table) != c.Rows*c.Width {
+		p = &sketchPayload{table: make([]float64, c.Rows*c.Width)}
+	} else {
+		for i := range p.table {
+			p.table[i] = 0
+		}
+	}
+	p.cfg = c
 	for i, x := range v {
 		if x == 0 {
 			continue
@@ -60,21 +74,30 @@ func (c CountSketch) Compress(v []float64, rng *rand.Rand) Payload {
 type sketchPayload struct {
 	cfg   CountSketch
 	table []float64
+	est   []float64 // median scratch, not part of the wire payload
 }
 
 // Decompress estimates each coordinate as the median of its signed
 // counters.
 func (p *sketchPayload) Decompress(n int) []float64 {
 	out := make([]float64, n)
-	est := make([]float64, p.cfg.Rows)
-	for i := 0; i < n; i++ {
+	p.DecompressInto(out)
+	return out
+}
+
+// DecompressInto estimates into dst without allocating.
+func (p *sketchPayload) DecompressInto(dst []float64) {
+	if cap(p.est) < 2*p.cfg.Rows {
+		p.est = make([]float64, 2*p.cfg.Rows)
+	}
+	est, buf := p.est[:p.cfg.Rows], p.est[p.cfg.Rows:2*p.cfg.Rows]
+	for i := range dst {
 		for r := 0; r < p.cfg.Rows; r++ {
 			b, s := p.cfg.hash(r, i)
 			est[r] = s * p.table[r*p.cfg.Width+b]
 		}
-		out[i] = medianOf(est)
+		dst[i] = medianInto(buf, est)
 	}
-	return out
 }
 
 func (p *sketchPayload) Bytes() int64 { return int64(8 * len(p.table)) }
@@ -93,8 +116,13 @@ func (p *sketchPayload) Merge(other Payload) error {
 }
 
 func medianOf(xs []float64) float64 {
-	// Insertion sort on a copy: R is tiny (3–7).
-	buf := append([]float64(nil), xs...)
+	return medianInto(make([]float64, len(xs)), xs)
+}
+
+func medianInto(buf, xs []float64) float64 {
+	// Insertion sort on a copy in buf: R is tiny (3–7).
+	buf = buf[:len(xs)]
+	copy(buf, xs)
 	for i := 1; i < len(buf); i++ {
 		for j := i; j > 0 && buf[j] < buf[j-1]; j-- {
 			buf[j], buf[j-1] = buf[j-1], buf[j]

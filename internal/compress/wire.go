@@ -1,0 +1,268 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Scheme names one of the fixed wire codecs the transport can negotiate per
+// payload class. Unlike the Compressor interface (whose payloads are opaque
+// Go values), a Scheme has a self-describing byte encoding: any peer that
+// knows the scheme tag and the original element count can decode the
+// payload, which is what lets the frame codec validate lengths before
+// allocating.
+type Scheme uint8
+
+// The negotiable wire schemes, in caps-bitmask order. Dense is the zero
+// value, so an un-negotiated or unknown peer degrades to raw float64.
+const (
+	// SchemeDense ships raw float64 (8 bytes/coord) — lossless.
+	SchemeDense Scheme = iota
+	// SchemeF32 rounds to float32 (4 bytes/coord).
+	SchemeF32
+	// SchemeInt8 is QSGD-style stochastic quantization onto the ±127 grid
+	// scaled by max|v|: one float32 scale plus one int8 per coordinate.
+	// Unbiased given the caller's RNG.
+	SchemeInt8
+	// SchemeBit1 is 1-bit sign quantization scaled by mean|v|: one float32
+	// scale plus one sign bit per coordinate. Deterministic and biased;
+	// pair it with error feedback.
+	SchemeBit1
+
+	numSchemes
+)
+
+// NumSchemes is the number of defined schemes, for per-scheme metric arrays.
+const NumSchemes = int(numSchemes)
+
+// Valid reports whether s names a defined scheme.
+func (s Scheme) Valid() bool { return s < numSchemes }
+
+// String returns the scheme's canonical name ("dense", "f32", "q8", "q1").
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDense:
+		return "dense"
+	case SchemeF32:
+		return "f32"
+	case SchemeInt8:
+		return "q8"
+	case SchemeBit1:
+		return "q1"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme resolves a scheme name (canonical or alias) from a flag value.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "", "dense", "none", "identity":
+		return SchemeDense, nil
+	case "f32", "float32":
+		return SchemeF32, nil
+	case "q8", "int8":
+		return SchemeInt8, nil
+	case "q1", "1bit", "sign":
+		return SchemeBit1, nil
+	default:
+		return SchemeDense, fmt.Errorf("compress: unknown scheme %q (want dense, f32, q8, or q1)", name)
+	}
+}
+
+// Caps is a bitmask of supported schemes, advertised in the join handshake.
+// Dense is always implied: even a zero Caps can receive raw float64.
+type Caps uint32
+
+// AllCaps advertises every scheme this build knows.
+func AllCaps() Caps { return Caps(1)<<numSchemes - 1 }
+
+// CapsOf builds a mask from explicit schemes (dense is always included).
+func CapsOf(schemes ...Scheme) Caps {
+	c := Caps(1) << SchemeDense
+	for _, s := range schemes {
+		if s.Valid() {
+			c |= Caps(1) << s
+		}
+	}
+	return c
+}
+
+// Has reports whether s is usable against a peer with these caps. Unknown
+// bits a newer peer may set are ignored; dense always holds.
+func (c Caps) Has(s Scheme) bool {
+	if s == SchemeDense {
+		return true
+	}
+	return s.Valid() && c&(Caps(1)<<s) != 0
+}
+
+// Negotiate picks the scheme for one payload class: the preferred scheme
+// when the peer advertised it, dense otherwise (including when preferred is
+// itself unknown — a config from a newer build degrades, never errors).
+func Negotiate(preferred Scheme, peer Caps) Scheme {
+	if preferred.Valid() && peer.Has(preferred) {
+		return preferred
+	}
+	return SchemeDense
+}
+
+// EncodedBytes is the exact wire size of an n-element payload under s.
+// Frame validation relies on it being an injective function of (s, n) per
+// scheme, so a forged header cannot claim a longer buffer than the element
+// count justifies.
+func EncodedBytes(s Scheme, n int) int {
+	switch s {
+	case SchemeDense:
+		return 8 * n
+	case SchemeF32:
+		return 4 * n
+	case SchemeInt8:
+		return 4 + n
+	case SchemeBit1:
+		return 4 + (n+7)/8
+	default:
+		panic(fmt.Sprintf("compress: EncodedBytes of invalid scheme %d", s))
+	}
+}
+
+// EncodeInto encodes v into dst, which must be exactly EncodedBytes(s,
+// len(v)) long. rng drives stochastic rounding (SchemeInt8) and may be nil
+// for the deterministic schemes. It allocates nothing.
+func EncodeInto(s Scheme, dst []byte, v []float64, rng *rand.Rand) {
+	if want := EncodedBytes(s, len(v)); len(dst) != want {
+		panic(fmt.Sprintf("compress: EncodeInto dst has %d bytes, want %d", len(dst), want))
+	}
+	switch s {
+	case SchemeDense:
+		for i, x := range v {
+			binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(x))
+		}
+	case SchemeF32:
+		for i, x := range v {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(float32(x)))
+		}
+	case SchemeInt8:
+		maxAbs := 0.0
+		for _, x := range v {
+			if a := math.Abs(x); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		// The scale is stored as float32 and decoded back through the same
+		// rounding, so encode against the decoded value to stay unbiased. A
+		// degenerate scale (zero or non-finite input) is stored as 0 so the
+		// peer reconstructs zeros instead of NaNs.
+		scale := float64(float32(maxAbs))
+		if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+			binary.LittleEndian.PutUint32(dst, 0)
+			for i := range v {
+				dst[4+i] = 0
+			}
+			return
+		}
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(maxAbs)))
+		for i, x := range v {
+			t := x / scale * 127
+			lo := math.Floor(t)
+			q := int64(lo)
+			if rng.Float64() < t-lo {
+				q++
+			}
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			dst[4+i] = byte(int8(q))
+		}
+	case SchemeBit1:
+		sum := 0.0
+		for _, x := range v {
+			sum += math.Abs(x)
+		}
+		scale := 0.0
+		if len(v) > 0 {
+			scale = sum / float64(len(v))
+		}
+		if math.IsInf(scale, 0) || math.IsNaN(scale) {
+			scale = 0
+		}
+		binary.LittleEndian.PutUint32(dst, math.Float32bits(float32(scale)))
+		for i := 4; i < len(dst); i++ {
+			dst[i] = 0
+		}
+		for i, x := range v {
+			if x >= 0 {
+				dst[4+i/8] |= 1 << (i % 8)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("compress: EncodeInto with invalid scheme %d", s))
+	}
+}
+
+// DecodeInto decodes an s-encoded payload into dst, whose length must be
+// the original element count. It returns an error (instead of panicking) on
+// a size mismatch, because it sits on the wire path where src arrives from
+// an untrusted peer. It allocates nothing.
+func DecodeInto(dst []float64, s Scheme, src []byte) error {
+	if !s.Valid() {
+		return fmt.Errorf("compress: decode with invalid scheme %d", s)
+	}
+	if want := EncodedBytes(s, len(dst)); len(src) != want {
+		return fmt.Errorf("compress: %s payload has %d bytes, want %d for %d values",
+			s, len(src), want, len(dst))
+	}
+	switch s {
+	case SchemeDense:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case SchemeF32:
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:])))
+		}
+	case SchemeInt8:
+		scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(src)))
+		for i := range dst {
+			dst[i] = float64(int8(src[4+i])) / 127 * scale
+		}
+	case SchemeBit1:
+		scale := float64(math.Float32frombits(binary.LittleEndian.Uint32(src)))
+		for i := range dst {
+			if src[4+i/8]&(1<<(i%8)) != 0 {
+				dst[i] = scale
+			} else {
+				dst[i] = -scale
+			}
+		}
+	}
+	return nil
+}
+
+// RNG derives the compressor's stochastic-rounding stream for one
+// (seed, round, client) triple — the same keying family as fl.roundRNG and
+// the transport's cohortRNG, so stochastic quantization reproduces bitwise
+// across kill-and-resume and round retries instead of consuming a
+// session-long sequential stream.
+func RNG(seed int64, round, client int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(round)*7919 + int64(client+1)*104729 + 7))
+}
+
+// RelError returns the relative L2 reconstruction error ‖v − recon‖/‖v‖
+// (0 for a zero input), the quantity the compression telemetry histograms.
+func RelError(v, recon []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range v {
+		d := v[i] - recon[i]
+		num += d * d
+		den += v[i] * v[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/fl"
+)
+
+// The paper's accuracy ordering must survive wire compression: at 0% label
+// similarity under partial participation — the regime where client drift
+// hurts FedAvg most — the regularized algorithm with int8-quantized uplinks
+// still ranks above plain FedAvg with the same codec.
+func TestCompressedAccuracyShape(t *testing.T) {
+	run := func(alg fl.Algorithm) float64 {
+		f := tinyFederation(t, 6, 0.0)
+		f.Cfg.SampleRatio = 0.5
+		f.Cfg.Compress = compress.SchemeInt8
+		h := fl.Run(f, alg, 12)
+		return h.FinalAccuracy(2)
+	}
+	plain := run(fl.NewFedAvg())
+	reg := run(NewRFedAvgPlus(0.05))
+	if reg < 0.5 {
+		t.Fatalf("compressed rFedAvg+ accuracy %v, want ≥ 0.5", reg)
+	}
+	if reg <= plain {
+		t.Fatalf("compression inverted the paper's ranking: rFedAvg+ %v ≤ FedAvg %v", reg, plain)
+	}
+}
+
+// Compressed simulation runs are deterministic: the quantizer RNG is keyed
+// to (Seed, round, client), so two runs — whatever the worker scheduling —
+// produce bitwise-identical losses.
+func TestCompressedSimDeterministic(t *testing.T) {
+	run := func() []float64 {
+		f := tinyFederation(t, 4, 0.0)
+		f.Cfg.Compress = compress.SchemeInt8
+		h := fl.Run(f, NewRFedAvgPlus(1e-3), 4)
+		losses := make([]float64, len(h.Rounds))
+		for i, r := range h.Rounds {
+			losses[i] = r.TrainLoss
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("round %d loss diverged across identical compressed runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Error feedback on the simulated uplink must not break learning under the
+// harshest scheme, and its residual store must actually engage.
+func TestCompressedSimErrorFeedback(t *testing.T) {
+	f := tinyFederation(t, 4, 0.0)
+	f.Cfg.Compress = compress.SchemeBit1
+	f.Cfg.CompressEF = true
+	h := fl.Run(f, fl.NewFedAvg(), 10)
+	first, last := h.Rounds[0].TrainLoss, h.Rounds[len(h.Rounds)-1].TrainLoss
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("1-bit EF simulation did not reduce loss: %v → %v", first, last)
+	}
+}

@@ -89,7 +89,10 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}
-		return fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss, Aux: delta}
+		out := fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss, Aux: delta}
+		out.ReconErr = f.CompressUplink(w, round, c, 0, global, out.Params)
+		f.CompressUplink(w, round, c, 1, nil, delta)
+		return out
 	})
 
 	// Lines 12–13: aggregate models, refresh the sampled clients' rows.
@@ -103,13 +106,15 @@ func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	p := int64(len(sampled))
 	n := len(f.Clients)
 	d := f.FeatureDim()
-	return fl.RoundResult{
+	rr := fl.RoundResult{
 		TrainLoss:    fl.MeanLoss(outs),
 		ClientLosses: fl.LossMap(outs),
 		ClientNorms:  norms,
 		// Down: model + the N·d table, per sampled client.
 		DownBytes: p * (fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(n*d)),
-		// Up: model + own map.
-		UpBytes: p * (fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
+		// Up: model + own map, each under the configured uplink codec.
+		UpBytes: p * (f.UplinkBytes(f.NumParams()) + f.UplinkBytes(d)),
 	}
+	f.AnnotateCodec(&rr, outs)
+	return rr
 }

@@ -88,7 +88,9 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 				feat, target, a.Lambda)
 		}
 		loss := f.LocalTrain(w, c, rng, o)
-		return fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
+		out := fl.ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
+		out.ReconErr = f.CompressUplink(w, round, c, 0, global, out.Params)
+		return out
 	})
 	norms := fl.UpdateNorms(a.global, outs)
 	a.global = fl.WeightedAverage(outs)
@@ -106,7 +108,9 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		if a.NoiseDelta != nil {
 			a.NoiseDelta(delta, rng)
 		}
-		return fl.ClientOut{Client: c, Aux: delta}
+		out := fl.ClientOut{Client: c, Aux: delta}
+		out.ReconErr = f.CompressUplink(w, round, c, 1, nil, delta)
+		return out
 	})
 	for _, out := range deltaOuts {
 		a.table.Set(out.Client.ID, out.Aux)
@@ -121,13 +125,16 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 
 	p := int64(len(sampled))
 	d := f.FeatureDim()
-	return fl.RoundResult{
+	rr := fl.RoundResult{
 		TrainLoss:    fl.MeanLoss(outs),
 		ClientLosses: fl.LossMap(outs),
 		ClientNorms:  norms,
 		// Down: (model + average map) in sync #1, model again in sync #2.
 		DownBytes: p * (2*fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
-		// Up: model in sync #1, own map in sync #2.
-		UpBytes: p * (fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
+		// Up: model in sync #1, own map in sync #2, each under the
+		// configured uplink codec.
+		UpBytes: p * (f.UplinkBytes(f.NumParams()) + f.UplinkBytes(d)),
 	}
+	f.AnnotateCodec(&rr, outs, deltaOuts)
+	return rr
 }

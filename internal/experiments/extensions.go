@@ -23,6 +23,7 @@ func init() {
 	Register("extsampler", "Extension: adaptive client sampling (size-weighted, power-of-choice)", runExtSampler)
 	Register("extpersonal", "Extension: personalization — fine-tuning each algorithm's global model", runExtPersonal)
 	Register("extkernel", "Extension: full RBF-kernel MMD between clients after training", runExtKernel)
+	Register("extwire", "Extension: wire-codec bytes/accuracy sweep (dense, f32, q8, q1) under rFedAvg+", runExtWire)
 }
 
 func runExtBaselines(scale Scale, log io.Writer) (*Result, error) {
@@ -80,6 +81,47 @@ func runExtCompress(scale Scale, log io.Writer) (*Result, error) {
 			metrics.FormatBytes(up), fmt.Sprintf("%.1f%%", 100*float64(up)/float64(denseUp)))
 	}
 	res.Note("MNIST cross-silo non-IID; EF = error feedback; accuracy should degrade gracefully as bytes shrink")
+	return res, nil
+}
+
+// runExtWire sweeps the negotiated wire codec (the scheme set the transport
+// layer frames on the socket, as opposed to extcompress's algorithm-level
+// compressors) across every scheme, under rFedAvg+ so both the model uplink
+// and the δ-map sync are quantized. The table is the bytes-vs-accuracy
+// trade-off DESIGN.md's wire-compression section documents.
+func runExtWire(scale Scale, log io.Writer) (*Result, error) {
+	t, err := NewTask("mnist", scale, 1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "extwire", Title: Title("extwire"),
+		Header: []string{"scheme", "final acc", "upload bytes", "vs dense", "recon err"}}
+	schemes := []compress.Scheme{
+		compress.SchemeDense, compress.SchemeF32, compress.SchemeInt8, compress.SchemeBit1,
+	}
+	var denseUp int64
+	for _, s := range schemes {
+		if log != nil {
+			fmt.Fprintf(log, "  extwire %s…\n", s)
+		}
+		cfg := t.Config(Silo, 1, 0)
+		cfg.Compress = s
+		cfg.CompressEF = s == compress.SchemeBit1 // q1 needs error feedback to stay convergent
+		f := fl.NewFederation(cfg, t.Shards(Silo, 0, 13), t.Test)
+		h := fl.Run(f, core.NewRFedAvgPlus(t.Lambda), t.Rounds())
+		up, _ := h.TotalBytes()
+		if s == compress.SchemeDense {
+			denseUp = up
+		}
+		re := "-"
+		if n := len(h.Rounds); n > 0 && s != compress.SchemeDense {
+			re = fmt.Sprintf("%.2e", h.Rounds[n-1].ReconErr)
+		}
+		res.AddRow(s.String(), fmt.Sprintf("%.4f", h.FinalAccuracy(3)),
+			metrics.FormatBytes(up), fmt.Sprintf("%.1f%%", 100*float64(up)/float64(denseUp)), re)
+	}
+	res.Note("MNIST cross-silo non-IID under rFedAvg+; the codec covers both the trained-model uplink and the δ-map sync")
+	res.Note("q1 runs with error feedback; accuracy should degrade gracefully while bytes shrink ~8x (q8) and ~60x (q1)")
 	return res, nil
 }
 

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"math/rand"
-	"sync"
 
 	"repro/internal/compress"
 )
@@ -14,15 +13,30 @@ import (
 // biased compressors (top-k) convergent. This realizes the
 // compression-based strategies of Konečný et al. that the paper's related
 // work builds on, and quantifies the accuracy/bytes trade-off.
+//
+// All per-client buffers (payload, residual, reconstruction) are retained
+// across rounds through the CompressReuse/DecompressInto fast paths, so the
+// steady-state round loop allocates nothing in the compression layer, and
+// the compressor RNG is keyed to (Seed, round, client) so results do not
+// depend on worker scheduling.
 type CompressedFedAvg struct {
 	Compressor compress.Compressor
 	// ErrorFeedback accumulates dropped mass per client when true.
 	ErrorFeedback bool
 
-	f        *Federation
-	global   []float64
-	mu       sync.Mutex
-	residual map[int][]float64
+	f      *Federation
+	global []float64
+	state  []compressedClientState
+}
+
+// compressedClientState is one client's retained compression buffers.
+// Indexed by client ID, touched by exactly one worker per round, so no
+// locking is needed.
+type compressedClientState struct {
+	payload  compress.Payload
+	delta    []float64
+	recon    []float64
+	residual []float64
 }
 
 // NewCompressedFedAvg creates the compressed baseline.
@@ -33,71 +47,68 @@ func NewCompressedFedAvg(c compress.Compressor, errorFeedback bool) *CompressedF
 // Name returns e.g. "FedAvg+top64".
 func (a *CompressedFedAvg) Name() string { return "FedAvg+" + a.Compressor.Name() }
 
-// Setup initializes the global model and residual store.
+// Setup initializes the global model and the per-client buffer store.
 func (a *CompressedFedAvg) Setup(f *Federation) {
 	a.f = f
 	a.global = f.InitialParams()
-	a.residual = make(map[int][]float64)
+	a.state = make([]compressedClientState, len(f.Clients))
 }
 
 // GlobalParams returns the current global model.
 func (a *CompressedFedAvg) GlobalParams() []float64 { return a.global }
 
-func (a *CompressedFedAvg) clientResidual(id, n int) []float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	r, ok := a.residual[id]
-	if !ok {
-		r = make([]float64, n)
-		a.residual[id] = r
-	}
-	return r
-}
-
 // Round runs one compressed round.
 func (a *CompressedFedAvg) Round(round int, sampled []int) RoundResult {
 	f := a.f
 	global := a.global
-	var upBytes int64
-	var byteMu sync.Mutex
+	bytesPerClient := make([]int64, len(a.state))
 	outs := f.MapClients(round, sampled, func(w *Worker, c *Client, rng *rand.Rand) ClientOut {
 		w.LoadModel(global)
 		loss := f.LocalTrain(w, c, rng, f.DefaultLocalOpts(round))
 		local := w.Net().GetFlat()
+		st := &a.state[c.ID]
 		// Update + residual from previous rounds.
-		delta := make([]float64, len(local))
+		delta := resizeFloats(&st.delta, len(local))
 		for i := range delta {
 			delta[i] = local[i] - global[i]
 		}
 		if a.ErrorFeedback {
-			r := a.clientResidual(c.ID, len(delta))
+			if len(st.residual) != len(delta) {
+				st.residual = make([]float64, len(delta))
+			}
 			for i := range delta {
-				delta[i] += r[i]
+				delta[i] += st.residual[i]
 			}
 		}
-		payload := a.Compressor.Compress(delta, rng)
-		recon := payload.Decompress(len(delta))
+		st.payload = compress.CompressReuse(a.Compressor, st.payload, delta,
+			compress.RNG(f.Cfg.Seed, round, c.ID))
+		recon := resizeFloats(&st.recon, len(delta))
+		compress.DecompressInto(st.payload, recon)
+		rel := compress.RelError(delta, recon)
 		if a.ErrorFeedback {
-			r := a.clientResidual(c.ID, len(delta))
-			for i := range delta {
-				r[i] = delta[i] - recon[i]
+			for i := range st.residual {
+				st.residual[i] = delta[i] - recon[i]
 			}
 		}
-		byteMu.Lock()
-		upBytes += payload.Bytes() + 24
-		byteMu.Unlock()
+		bytesPerClient[c.ID] = st.payload.Bytes() + 24
 		// Report the reconstructed model the server actually sees.
 		for i := range recon {
 			recon[i] += global[i]
 		}
-		return ClientOut{Client: c, Params: recon, Loss: loss}
+		return ClientOut{Client: c, Params: recon, Loss: loss, ReconErr: rel}
 	})
 	a.global = WeightedAverage(outs)
+	var upBytes int64
+	for _, b := range bytesPerClient {
+		upBytes += b
+	}
 	p := int64(len(sampled))
 	return RoundResult{
 		TrainLoss:    MeanLoss(outs),
 		ClientLosses: LossMap(outs),
 		DownBytes:    p * PayloadBytes(f.NumParams()), // broadcast stays dense
 		UpBytes:      upBytes,
+		UpScheme:     a.Compressor.Name(),
+		ReconErr:     MeanReconErr(outs),
 	}
 }

@@ -31,16 +31,20 @@ func (a *FedAvg) Round(round int, sampled []int) RoundResult {
 	outs := f.MapClients(round, sampled, func(w *Worker, c *Client, rng *rand.Rand) ClientOut {
 		w.LoadModel(a.global)
 		loss := f.LocalTrain(w, c, rng, f.DefaultLocalOpts(round))
-		return ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
+		out := ClientOut{Client: c, Params: w.Net().GetFlat(), Loss: loss}
+		out.ReconErr = f.CompressUplink(w, round, c, 0, a.global, out.Params)
+		return out
 	})
 	norms := UpdateNorms(a.global, outs)
 	a.global = WeightedAverage(outs)
 	p := int64(len(sampled))
-	return RoundResult{
+	rr := RoundResult{
 		TrainLoss:    MeanLoss(outs),
 		ClientLosses: LossMap(outs),
 		ClientNorms:  norms,
 		DownBytes:    p * PayloadBytes(f.NumParams()),
-		UpBytes:      p * PayloadBytes(f.NumParams()),
+		UpBytes:      p * f.UplinkBytes(f.NumParams()),
 	}
+	f.AnnotateCodec(&rr, outs)
+	return rr
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/nn"
@@ -47,6 +48,18 @@ type Config struct {
 	// Sampler selects each round's cohort; nil means UniformSampler (the
 	// paper's setting).
 	Sampler Sampler
+
+	// Compress selects the wire codec applied to every simulated uplink
+	// payload (client updates and δ maps): each vector is lossy-encoded
+	// before the server sees it and the accounted UpBytes shrink to the
+	// scheme's wire size — the simulation twin of the transport layer's
+	// negotiated codec. The zero value (SchemeDense) disables it. The
+	// quantizer RNG is keyed to (Seed, round, client), so compressed runs
+	// stay deterministic under worker rescheduling.
+	Compress compress.Scheme
+	// CompressEF carries each client's quantization residual into its next
+	// compressed update (EF-SGD); δ maps are never error-fed.
+	CompressEF bool
 
 	// Tracer, when non-nil, records identified spans for the simulation
 	// (session → round → client_round → local_steps/mmd_grad, plus
@@ -111,6 +124,11 @@ type Federation struct {
 	workers   []*Worker
 	numParams int
 
+	// efResidual[k] is client k's error-feedback carry-over under a lossy
+	// uplink codec. Entries are filled lazily but indexed by client ID, so
+	// concurrent workers (one client per worker at a time) never race.
+	efResidual [][]float64
+
 	// roundCtx is the current round span's context; MapClients parents
 	// client_round spans to it. Set by Run between rounds (never during a
 	// pooled phase, so workers read it race-free).
@@ -123,6 +141,11 @@ type Worker struct {
 	net      *nn.Network
 	localOpt opt.Optimizer
 	arena    *nn.Arena // scratch for batches, loss gradients, δ maps
+	// Codec scratch: the difference/encode/decode buffers of CompressUplink,
+	// grown once to model size so the steady-state round loop is alloc-free.
+	cupd   []float64
+	crecon []float64
+	cbuf   []byte
 	// spanCtx is the worker's current client_round span, the parent for
 	// spans started inside the client's local work. Like net and arena it
 	// is single-goroutine: only the worker's own task touches it.
@@ -158,6 +181,7 @@ func NewFederation(cfg Config, shards []*data.Dataset, test *data.Dataset) *Fede
 		})
 	}
 	f.numParams = f.workers[0].net.NumParams()
+	f.efResidual = make([][]float64, len(shards))
 	return f
 }
 
@@ -215,6 +239,10 @@ type ClientOut struct {
 	Params []float64 // resulting local model, nil if not reported
 	Loss   float64   // mean local training loss
 	Aux    []float64 // algorithm-specific payload (δ map, control variate …)
+	// ReconErr is the relative L2 error CompressUplink introduced into this
+	// client's payloads; NaN (or zero value on untouched outputs) when the
+	// uplink was dense.
+	ReconErr float64
 }
 
 // MapClients runs work for every sampled client on the worker pool and
@@ -508,6 +536,12 @@ type RoundResult struct {
 	// ‖w_k − w_global‖₂ relative to the round's starting model, a drift
 	// signal the run ledger records. Algorithms may leave it nil.
 	ClientNorms map[int]float64
+	// UpScheme names the uplink wire codec ("q8", "q1", …); empty means the
+	// round's uplinks were dense.
+	UpScheme string
+	// ReconErr is the mean relative reconstruction error across this
+	// round's lossy uplinks; meaningful only when UpScheme is set.
+	ReconErr float64
 }
 
 // LossMap collects per-client losses from client outputs.
@@ -547,6 +581,126 @@ type MMDReporter interface {
 // Fig. 10's communication numbers are computed with this.
 func PayloadBytes(nFloats int) int64 { return int64(8*nFloats) + 24 }
 
+// UplinkBytes is the accounted wire size of one n-float uplink payload
+// under the configured codec — PayloadBytes when dense, the scheme's packed
+// size plus framing otherwise.
+func (f *Federation) UplinkBytes(n int) int64 {
+	if s := f.Cfg.Compress; s != compress.SchemeDense {
+		return int64(compress.EncodedBytes(s, n)) + 24
+	}
+	return PayloadBytes(n)
+}
+
+// CompressUplink simulates the lossy uplink wire: it encodes vec under the
+// configured codec and writes back the reconstruction the server would
+// decode, returning the relative L2 error (NaN under the dense codec, which
+// leaves vec untouched). When ref is non-nil the payload is
+// difference-coded against it — the transport client's Δ-against-broadcast
+// framing — and, with CompressEF on, the client's residual folds in first.
+// δ maps pass ref == nil (direct encode, no error feedback).
+//
+// class separates a round's payload streams (0 for model updates, 1 for δ
+// maps), mirroring the transport layer's per-class RNG salts; the stream is
+// keyed to (Seed, round, client), never to scheduling order.
+func (f *Federation) CompressUplink(w *Worker, round int, c *Client, class int, ref, vec []float64) float64 {
+	s := f.Cfg.Compress
+	if s == compress.SchemeDense {
+		return math.NaN()
+	}
+	upd := resizeFloats(&w.cupd, len(vec))
+	if ref == nil {
+		copy(upd, vec)
+	} else {
+		for i := range upd {
+			upd[i] = vec[i] - ref[i]
+		}
+		if f.Cfg.CompressEF {
+			r := f.efResidual[c.ID]
+			if len(r) != len(upd) {
+				r = make([]float64, len(upd))
+				f.efResidual[c.ID] = r
+			}
+			for i := range upd {
+				upd[i] += r[i]
+			}
+		}
+	}
+	nb := compress.EncodedBytes(s, len(upd))
+	if cap(w.cbuf) < nb {
+		w.cbuf = make([]byte, nb)
+	}
+	buf := w.cbuf[:nb]
+	compress.EncodeInto(s, buf, upd, compress.RNG(f.Cfg.Seed, round, c.ID+class*len(f.Clients)))
+	recon := resizeFloats(&w.crecon, len(upd))
+	if err := compress.DecodeInto(recon, s, buf); err != nil {
+		panic(fmt.Sprintf("fl: self-decode of %v uplink failed: %v", s, err))
+	}
+	rel := compress.RelError(upd, recon)
+	compress.ObserveReconError(s, rel)
+	if ref == nil {
+		copy(vec, recon)
+	} else {
+		if f.Cfg.CompressEF {
+			r := f.efResidual[c.ID]
+			for i := range r {
+				r[i] = upd[i] - recon[i]
+			}
+		}
+		for i := range vec {
+			vec[i] = ref[i] + recon[i]
+		}
+	}
+	return rel
+}
+
+// resizeFloats returns *buf resized to n, reallocating only on growth.
+func resizeFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// MeanReconErr averages the finite per-client reconstruction errors of a
+// round; NaN when none were recorded.
+func MeanReconErr(outs []ClientOut) float64 {
+	sum, n := 0.0, 0
+	for _, o := range outs {
+		if !math.IsNaN(o.ReconErr) {
+			sum += o.ReconErr
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// AnnotateCodec stamps rr with the configured uplink codec and the mean
+// reconstruction error across the round's outputs; a no-op under the dense
+// codec.
+func (f *Federation) AnnotateCodec(rr *RoundResult, outs ...[]ClientOut) {
+	s := f.Cfg.Compress
+	if s == compress.SchemeDense {
+		return
+	}
+	rr.UpScheme = s.String()
+	sum, n := 0.0, 0
+	for _, os := range outs {
+		if m := MeanReconErr(os); !math.IsNaN(m) {
+			sum += m
+			n++
+		}
+	}
+	if n == 0 {
+		rr.ReconErr = math.NaN()
+	} else {
+		rr.ReconErr = sum / float64(n)
+	}
+}
+
 // Run executes rounds of alg over f, recording metrics per round. With a
 // Tracer configured it emits the session → round span tree (client-side
 // spans attach through Federation.roundCtx); with a Ledger it writes one
@@ -577,6 +731,8 @@ func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
 			Seconds:   time.Since(start).Seconds(),
 			UpBytes:   res.UpBytes,
 			DownBytes: res.DownBytes,
+			UpScheme:  res.UpScheme,
+			ReconErr:  res.ReconErr,
 			TestAcc:   math.NaN(),
 		}
 		if f.Test != nil && (c%f.Cfg.EvalEvery == f.Cfg.EvalEvery-1 || c == rounds-1) {
@@ -602,6 +758,10 @@ func (f *Federation) recordLedger(alg Algorithm, round int, sampled []int, res R
 	rec.Loss = res.TrainLoss
 	rec.DurNanos = int64(dur)
 	rec.UpBytes, rec.DownBytes = res.UpBytes, res.DownBytes
+	if res.UpScheme != "" {
+		rec.UpScheme = res.UpScheme
+		rec.ReconErr = res.ReconErr
+	}
 	for _, ci := range sampled {
 		id := f.Clients[ci].ID
 		loss, ok := res.ClientLosses[id]

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"io"
+	"math"
 	"strconv"
 	"sync"
 )
@@ -39,6 +40,14 @@ type RoundRecord struct {
 	UpBytes   int64 // client→server wire bytes this round
 	DownBytes int64 // server→client wire bytes this round
 
+	// UpScheme names the wire-compression scheme of this round's client
+	// updates ("q8", "dense", ...); empty when the session predates codec
+	// negotiation or the round gathered no update.
+	UpScheme string
+	// ReconErr is the mean relative L2 reconstruction error of this round's
+	// lossy uplink payloads; NaN means not measured (e.g. dense).
+	ReconErr float64
+
 	ClientLoss []float64 // per sampled client, aligned with ClientID
 	ClientNorm []float64 // per sampled client ‖update − global‖₂
 	ClientID   []int     // which clients the loss/norm entries belong to
@@ -60,6 +69,8 @@ func (r *RoundRecord) Reset() {
 	r.OK = false
 	r.Loss, r.DurNanos = 0, 0
 	r.UpBytes, r.DownBytes = 0, 0
+	r.UpScheme = ""
+	r.ReconErr = math.NaN()
 	r.ClientLoss = r.ClientLoss[:0]
 	r.ClientNorm = r.ClientNorm[:0]
 	r.ClientID = r.ClientID[:0]
@@ -95,6 +106,14 @@ func (l *RunLedger) Record(r *RoundRecord) {
 	b = strconv.AppendInt(b, r.UpBytes, 10)
 	b = append(b, `,"down_bytes":`...)
 	b = strconv.AppendInt(b, r.DownBytes, 10)
+	if r.UpScheme != "" {
+		b = append(b, `,"up_scheme":`...)
+		b = appendJSONString(b, r.UpScheme)
+	}
+	if !math.IsNaN(r.ReconErr) {
+		b = append(b, `,"recon_err":`...)
+		b = appendJSONFloat(b, r.ReconErr)
+	}
 	if len(r.ClientID) > 0 {
 		b = append(b, `,"client_id":`...)
 		b = appendJSONInts(b, r.ClientID)

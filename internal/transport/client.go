@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -36,6 +37,18 @@ type ClientConfig struct {
 	// DeltaBatch bounds δ computation batches; 0 means 256.
 	DeltaBatch int
 
+	// Caps advertises the wire-compression schemes this client accepts in
+	// its join handshake; the server never picks a scheme outside them. The
+	// zero value advertises every scheme the build knows (compress.AllCaps),
+	// so compression is purely server-policy-driven by default.
+	Caps compress.Caps
+	// ErrorFeedback carries the quantization residual of each lossy update
+	// into the next round's encode (EF-SGD style), recovering accuracy lost
+	// to aggressive schemes. The residual is client-local state: it starts
+	// at zero and is lost on crash/rejoin, so runs that must be bitwise
+	// resumable should leave it off.
+	ErrorFeedback bool
+
 	// Tracer, when non-nil, records the client's side of each round
 	// (client_round → local_steps/mmd_grad/serialize, compute_delta) with
 	// the span context received in the assign frame header as parent, so a
@@ -60,8 +73,14 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 	}
 	net := cfg.Builder(cfg.ModelSeed)
 	localOpt := cfg.NewOptimizer()
+	caps := cfg.Caps
+	if caps == 0 {
+		caps = compress.AllCaps()
+	}
+	cc := &clientCodec{caps: caps, ef: cfg.ErrorFeedback, seed: cfg.Seed}
 
-	if err := conn.Send(&Message{Type: MsgJoin, ClientID: int32(cfg.ClientID), NumSamples: int64(shard.Len())}); err != nil {
+	if err := conn.Send(&Message{Type: MsgJoin, ClientID: int32(cfg.ClientID),
+		NumSamples: int64(shard.Len()), Caps: caps}); err != nil {
 		return nil, err
 	}
 	cfg.Events.Emit("join", -1, "")
@@ -80,7 +99,24 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			// everything this client does for the round nests under it.
 			cr := cfg.Tracer.Start("client_round", m.SpanContext())
 			cr.Round, cr.Client = int(m.Round), int(m.ClientID)
-			net.SetFlat(m.Params)
+			params, err := cc.downParams(m)
+			if err != nil {
+				return nil, err
+			}
+			net.SetFlat(params)
+			// The server clamps Want to the advertised caps, but a buggy or
+			// hostile one might not; clamp again so the reply never carries a
+			// scheme this client did not offer.
+			want := compress.Negotiate(m.Want, cc.caps)
+			if want != compress.SchemeDense {
+				// Keep the assigned model: the packed update is the
+				// difference against it.
+				cc.assigned = append(cc.assigned[:0], params...)
+			}
+			target, err := cc.downTarget(m)
+			if err != nil {
+				return nil, err
+			}
 			localOpt.Reset()
 			// Batch sampling is keyed to (Seed, round), not a session-long
 			// stream: a client that crashed and rejoined at round r draws
@@ -89,14 +125,20 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			rng := clientRoundRNG(cfg.Seed, m.Round)
 			ls := cfg.Tracer.Start("local_steps", cr.Context())
 			ls.Round, ls.Client = cr.Round, cr.Client
-			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), m.Delta, ls.Context())
+			loss := localSteps(net, localOpt, shard, rng, cfg, int(m.Round), target, ls.Context())
 			ls.End()
 			ser := cfg.Tracer.Start("serialize", cr.Context())
 			ser.Round, ser.Client = cr.Round, cr.Client
-			err := conn.Send(&Message{
+			out := &Message{
 				Type: MsgUpdate, Round: m.Round, ClientID: m.ClientID,
-				NumSamples: int64(shard.Len()), Loss: loss, Params: net.GetFlat(),
-			})
+				NumSamples: int64(shard.Len()), Loss: loss,
+			}
+			if want == compress.SchemeDense {
+				out.Params = net.GetFlat()
+			} else {
+				out.PParams = cc.encodeUpdate(want, int(m.Round), int(m.ClientID), net.GetFlat())
+			}
+			err = conn.Send(out)
 			ser.End()
 			cr.End()
 			if err != nil {
@@ -105,12 +147,20 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 		case MsgDeltaReq:
 			cd := cfg.Tracer.Start("compute_delta", m.SpanContext())
 			cd.Round, cd.Client = int(m.Round), int(m.ClientID)
-			net.SetFlat(m.Params)
+			params, err := cc.downParams(m)
+			if err != nil {
+				return nil, err
+			}
+			net.SetFlat(params)
 			delta := core.ComputeDelta(net, shard, cfg.DeltaBatch)
 			cd.End()
-			if err := conn.Send(&Message{
-				Type: MsgDelta, Round: m.Round, ClientID: m.ClientID, Delta: delta,
-			}); err != nil {
+			out := &Message{Type: MsgDelta, Round: m.Round, ClientID: m.ClientID}
+			if want := compress.Negotiate(m.Want, cc.caps); want == compress.SchemeDense {
+				out.Delta = delta
+			} else {
+				out.PDelta = cc.encodeDelta(want, int(m.Round), int(m.ClientID), delta)
+			}
+			if err := conn.Send(out); err != nil {
 				return nil, err
 			}
 		case MsgSkip:
@@ -122,6 +172,102 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			return nil, fmt.Errorf("transport: unexpected message type %d", m.Type)
 		}
 	}
+}
+
+// clientCodec is the client half of the compressed wire path: decode
+// buffers for packed downlink payloads and the encode/residual buffers of
+// the lossy uplink. Buffers grow once to model size, so the steady-state
+// round loop does not allocate in the codec layer.
+type clientCodec struct {
+	caps compress.Caps
+	ef   bool
+	seed int64
+
+	params   []float64 // decoded downlink model
+	target   []float64 // decoded downlink δ target
+	assigned []float64 // model this round trained from (the Δ reference)
+	upd      []float64 // Δ = local − assigned (+ residual)
+	residual []float64 // error-feedback carry-over, zero at (re)join
+	recon    []float64 // decode(encode(upd)) for residual update + telemetry
+	packed   []byte    // update encode buffer
+	packedD  []byte    // δ encode buffer
+}
+
+// downParams returns a frame's model params, decoding the packed form into
+// a reused buffer when present.
+func (c *clientCodec) downParams(m *Message) ([]float64, error) {
+	if m.PParams.N == 0 {
+		return m.Params, nil
+	}
+	dst := resizeFloats(&c.params, int(m.PParams.N))
+	if err := c.decode(dst, m.PParams); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// downTarget returns a frame's δ target, decoding the packed form when
+// present.
+func (c *clientCodec) downTarget(m *Message) ([]float64, error) {
+	if m.PDelta.N == 0 {
+		return m.Delta, nil
+	}
+	dst := resizeFloats(&c.target, int(m.PDelta.N))
+	if err := c.decode(dst, m.PDelta); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+func (c *clientCodec) decode(dst []float64, pv PackedVec) error {
+	if err := compress.DecodeInto(dst, pv.Scheme, pv.Data); err != nil {
+		return fmt.Errorf("transport: packed downlink: %w", err)
+	}
+	return nil
+}
+
+// encodeUpdate difference-codes the trained model against the assigned
+// broadcast, folds in the error-feedback residual, and encodes under s with
+// the (Seed, round, slot)-keyed RNG — so a resumed client (EF off)
+// reproduces the exact payload bytes of an uninterrupted run.
+func (c *clientCodec) encodeUpdate(s compress.Scheme, round, slot int, local []float64) PackedVec {
+	upd := resizeFloats(&c.upd, len(local))
+	for i := range upd {
+		upd[i] = local[i] - c.assigned[i]
+	}
+	if c.ef {
+		if len(c.residual) != len(upd) {
+			c.residual = make([]float64, len(upd))
+		}
+		for i := range upd {
+			upd[i] += c.residual[i]
+		}
+	}
+	pv := packVec(&c.packed, s, upd, compress.RNG(c.seed, round, slot))
+	recon := resizeFloats(&c.recon, len(upd))
+	if err := compress.DecodeInto(recon, s, pv.Data); err != nil {
+		panic(fmt.Sprintf("transport: self-decode of update failed: %v", err))
+	}
+	compress.ObserveReconError(s, compress.RelError(upd, recon))
+	if c.ef {
+		for i := range c.residual {
+			c.residual[i] = upd[i] - recon[i]
+		}
+	}
+	return pv
+}
+
+// encodeDelta encodes a δ map directly (no reference, no error feedback:
+// rows are regularization targets, not accumulated state). The RNG salt is
+// offset from the update encode's so the two streams of one round differ.
+func (c *clientCodec) encodeDelta(s compress.Scheme, round, slot int, delta []float64) PackedVec {
+	pv := packVec(&c.packedD, s, delta, compress.RNG(c.seed, round, slot+1<<16))
+	recon := resizeFloats(&c.recon, len(delta))
+	if err := compress.DecodeInto(recon, s, pv.Data); err != nil {
+		panic(fmt.Sprintf("transport: self-decode of δ failed: %v", err))
+	}
+	compress.ObserveReconError(s, compress.RelError(delta, recon))
+	return pv
 }
 
 // clientRoundRNG derives the client's mini-batch stream for one round from

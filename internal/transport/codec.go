@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/compress"
 	"repro/internal/telemetry"
 )
 
@@ -51,12 +52,30 @@ const (
 	MsgSkip
 )
 
+// PackedVec is a compressed vector payload: Scheme-encoded bytes for N
+// original float64 elements. len(Data) is always exactly
+// compress.EncodedBytes(Scheme, N) — ReadMessage enforces the invariant
+// before allocating, so a forged header cannot claim a longer buffer than
+// its element count justifies.
+type PackedVec struct {
+	Scheme compress.Scheme
+	N      int32
+	Data   []byte
+}
+
 // Message is one protocol frame. Unused fields are zero/nil and cost only
 // their length prefixes on the wire.
 //
 // Trace and Span carry span context across the wire (the server's round
 // span on MsgAssign/MsgDeltaReq), so client-side spans stitch into the
 // server's round tree. Zero means "no tracing".
+//
+// Codec negotiation rides on three fields: Caps advertises the sender's
+// supported schemes (MsgJoin), Want asks the peer to encode its reply's
+// primary payload under a scheme (MsgAssign/MsgDeltaReq), and
+// PParams/PDelta carry scheme-tagged compressed vectors in place of the
+// dense Params/Delta. A frame never carries both the dense and packed form
+// of the same payload class.
 type Message struct {
 	Type       MsgType
 	Round      int32
@@ -65,8 +84,12 @@ type Message struct {
 	Loss       float64
 	Trace      uint64
 	Span       uint64
+	Caps       compress.Caps
+	Want       compress.Scheme
 	Params     []float64
 	Delta      []float64
+	PParams    PackedVec
+	PDelta     PackedVec
 }
 
 // SpanContext returns the span context the frame carries.
@@ -79,9 +102,9 @@ func (m *Message) setSpanContext(c telemetry.SpanContext) {
 	m.Trace, m.Span = c.Trace, c.Span
 }
 
-// Clone returns a deep copy of the message: the float payloads get their
-// own backing arrays. In-process pipes deliver clones so that no two
-// endpoints ever share a Params/Delta slice — the wire conns get the same
+// Clone returns a deep copy of the message: the float and packed payloads
+// get their own backing arrays. In-process pipes deliver clones so that no
+// two endpoints ever share a payload slice — the wire conns get the same
 // isolation for free from encode/decode.
 func (m *Message) Clone() *Message {
 	c := *m
@@ -91,22 +114,31 @@ func (m *Message) Clone() *Message {
 	if m.Delta != nil {
 		c.Delta = append([]float64(nil), m.Delta...)
 	}
+	if m.PParams.Data != nil {
+		c.PParams.Data = append([]byte(nil), m.PParams.Data...)
+	}
+	if m.PDelta.Data != nil {
+		c.PDelta.Data = append([]byte(nil), m.PDelta.Data...)
+	}
 	return &c
 }
 
 // Header layout (after the 4-byte length prefix): type(1), round(4),
-// clientID(4), numSamples(8), loss(8), trace(8), span(8), nParams(4),
-// nDeltas(4).
-const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 4
+// clientID(4), numSamples(8), loss(8), trace(8), span(8), caps(4), want(1),
+// nParams(4), nDeltas(4), pScheme(1), pN(4), pLen(4), dScheme(1), dN(4),
+// dLen(4).
+const msgHeaderSize = 1 + 4 + 4 + 8 + 8 + 8 + 8 + 4 + 1 + 4 + 4 + 1 + 4 + 4 + 1 + 4 + 4
 
 // EncodedSize returns the exact number of bytes WriteMessage produces.
 func (m *Message) EncodedSize() int {
-	return 4 + msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta)
+	return 4 + msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta) +
+		len(m.PParams.Data) + len(m.PDelta.Data)
 }
 
 // WriteMessage writes one length-prefixed frame.
 func WriteMessage(w io.Writer, m *Message) error {
-	body := msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta)
+	body := msgHeaderSize + 8*len(m.Params) + 8*len(m.Delta) +
+		len(m.PParams.Data) + len(m.PDelta.Data)
 	buf := make([]byte, 4+body)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(body))
 	buf[4] = byte(m.Type)
@@ -116,8 +148,16 @@ func WriteMessage(w io.Writer, m *Message) error {
 	binary.LittleEndian.PutUint64(buf[21:], math.Float64bits(m.Loss))
 	binary.LittleEndian.PutUint64(buf[29:], m.Trace)
 	binary.LittleEndian.PutUint64(buf[37:], m.Span)
-	binary.LittleEndian.PutUint32(buf[45:], uint32(len(m.Params)))
-	binary.LittleEndian.PutUint32(buf[49:], uint32(len(m.Delta)))
+	binary.LittleEndian.PutUint32(buf[45:], uint32(m.Caps))
+	buf[49] = byte(m.Want)
+	binary.LittleEndian.PutUint32(buf[50:], uint32(len(m.Params)))
+	binary.LittleEndian.PutUint32(buf[54:], uint32(len(m.Delta)))
+	buf[58] = byte(m.PParams.Scheme)
+	binary.LittleEndian.PutUint32(buf[59:], uint32(m.PParams.N))
+	binary.LittleEndian.PutUint32(buf[63:], uint32(len(m.PParams.Data)))
+	buf[67] = byte(m.PDelta.Scheme)
+	binary.LittleEndian.PutUint32(buf[68:], uint32(m.PDelta.N))
+	binary.LittleEndian.PutUint32(buf[72:], uint32(len(m.PDelta.Data)))
 	off := 4 + msgHeaderSize
 	for _, v := range m.Params {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
@@ -127,6 +167,8 @@ func WriteMessage(w io.Writer, m *Message) error {
 		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
 		off += 8
 	}
+	off += copy(buf[off:], m.PParams.Data)
+	copy(buf[off:], m.PDelta.Data)
 	if _, err := w.Write(buf); err != nil {
 		return fmt.Errorf("transport: write frame: %w", err)
 	}
@@ -137,7 +179,31 @@ func WriteMessage(w io.Writer, m *Message) error {
 // maxFrameSize rejects corrupt length prefixes before allocating.
 const maxFrameSize = 1 << 30
 
-// ReadMessage reads one length-prefixed frame.
+// validPacked checks a packed-vector header before any allocation: the
+// scheme tag must name a known codec and the byte length must be exactly
+// what the scheme requires for the claimed element count. An empty vector
+// (N == 0) must be fully empty.
+func validPacked(scheme byte, n, dataLen int) error {
+	s := compress.Scheme(scheme)
+	if !s.Valid() {
+		return fmt.Errorf("transport: unknown packed scheme tag %d", scheme)
+	}
+	if n == 0 && (dataLen != 0 || s != compress.SchemeDense) {
+		return fmt.Errorf("transport: empty packed vector with scheme %v and %d bytes", s, dataLen)
+	}
+	if n > maxFrameSize/8 {
+		return fmt.Errorf("transport: packed vector claims %d elements", n)
+	}
+	if n > 0 && dataLen != compress.EncodedBytes(s, n) {
+		return fmt.Errorf("transport: %v payload has %d bytes, want %d for %d values",
+			s, dataLen, compress.EncodedBytes(s, n), n)
+	}
+	return nil
+}
+
+// ReadMessage reads one length-prefixed frame. All length and scheme
+// invariants are checked against the fixed-size header before the payload
+// slices are allocated.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
@@ -147,10 +213,11 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	if body < msgHeaderSize || body > maxFrameSize {
 		return nil, fmt.Errorf("transport: invalid frame length %d", body)
 	}
-	buf := make([]byte, body)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	var hdr [msgHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: read frame header: %w", err)
 	}
+	buf := hdr[:]
 	m := &Message{
 		Type:       MsgType(buf[0]),
 		Round:      int32(binary.LittleEndian.Uint32(buf[1:])),
@@ -159,26 +226,55 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		Loss:       math.Float64frombits(binary.LittleEndian.Uint64(buf[17:])),
 		Trace:      binary.LittleEndian.Uint64(buf[25:]),
 		Span:       binary.LittleEndian.Uint64(buf[33:]),
+		Caps:       compress.Caps(binary.LittleEndian.Uint32(buf[41:])),
+		Want:       compress.Scheme(buf[45]),
 	}
-	np := int(binary.LittleEndian.Uint32(buf[41:]))
-	nd := int(binary.LittleEndian.Uint32(buf[45:]))
-	if msgHeaderSize+8*(np+nd) != int(body) {
-		return nil, fmt.Errorf("transport: frame length %d does not match %d params + %d deltas", body, np, nd)
+	np := int(binary.LittleEndian.Uint32(buf[46:]))
+	nd := int(binary.LittleEndian.Uint32(buf[50:]))
+	pn := int(binary.LittleEndian.Uint32(buf[55:]))
+	plen := int(binary.LittleEndian.Uint32(buf[59:]))
+	dn := int(binary.LittleEndian.Uint32(buf[64:]))
+	dlen := int(binary.LittleEndian.Uint32(buf[68:]))
+	if np > maxFrameSize/8 || nd > maxFrameSize/8 {
+		return nil, fmt.Errorf("transport: frame claims %d params + %d deltas", np, nd)
 	}
-	off := msgHeaderSize
+	if err := validPacked(buf[54], pn, plen); err != nil {
+		return nil, err
+	}
+	if err := validPacked(buf[63], dn, dlen); err != nil {
+		return nil, err
+	}
+	if msgHeaderSize+8*(np+nd)+plen+dlen != int(body) {
+		return nil, fmt.Errorf("transport: frame length %d does not match %d params + %d deltas + %d+%d packed bytes",
+			body, np, nd, plen, dlen)
+	}
+	payload := make([]byte, int(body)-msgHeaderSize)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	off := 0
 	if np > 0 {
 		m.Params = make([]float64, np)
 		for i := range m.Params {
-			m.Params[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			m.Params[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 			off += 8
 		}
 	}
 	if nd > 0 {
 		m.Delta = make([]float64, nd)
 		for i := range m.Delta {
-			m.Delta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			m.Delta[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
 			off += 8
 		}
+	}
+	if pn > 0 {
+		m.PParams = PackedVec{Scheme: compress.Scheme(buf[54]), N: int32(pn),
+			Data: payload[off : off+plen : off+plen]}
+		off += plen
+	}
+	if dn > 0 {
+		m.PDelta = PackedVec{Scheme: compress.Scheme(buf[63]), N: int32(dn),
+			Data: payload[off : off+dlen : off+dlen]}
 	}
 	codecBytesRead.Add(int64(4 + body))
 	return m, nil

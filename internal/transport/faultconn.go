@@ -101,11 +101,18 @@ func (c *FaultConn) Send(m *Message) error {
 	}
 	if roll(c.plan.CorruptProb) {
 		m = m.Clone()
-		if len(m.Params) > 0 {
+		switch {
+		case len(m.Params) > 0:
 			m.Params[len(m.Params)/2] = math.NaN()
-		} else if len(m.Delta) > 0 {
+		case len(m.PParams.Data) > 0:
+			// Flip every bit of one payload byte: a compressed frame is
+			// corrupted in its packed bytes, not its (validated) header.
+			m.PParams.Data[len(m.PParams.Data)/2] ^= 0xFF
+		case len(m.Delta) > 0:
 			m.Delta[len(m.Delta)/2] = math.NaN()
-		} else {
+		case len(m.PDelta.Data) > 0:
+			m.PDelta.Data[len(m.PDelta.Data)/2] ^= 0xFF
+		default:
 			m.Loss = math.Inf(1)
 		}
 	}

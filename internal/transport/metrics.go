@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 )
@@ -34,6 +35,12 @@ type serverMetrics struct {
 	bytesSent *telemetry.Counter
 	bytesRecv *telemetry.Counter
 
+	// schemeSent/schemeRecv split the vector-payload bytes (dense float64
+	// plus packed data, without frame headers) by wire codec, so a scrape
+	// shows how much of the traffic each negotiated scheme carries.
+	schemeSent [compress.NumSchemes]*telemetry.Counter
+	schemeRecv [compress.NumSchemes]*telemetry.Counter
+
 	staleAge  *telemetry.Histogram
 	staleRows *telemetry.Gauge
 }
@@ -47,7 +54,7 @@ func newServerMetrics(reg *telemetry.Registry, algo Algorithm) *serverMetrics {
 			"wall time of one protocol phase of a round attempt", telemetry.DefDurationBuckets)
 	}
 	al := string(algo)
-	return &serverMetrics{
+	m := &serverMetrics{
 		rounds:      reg.Counter("rfl_rounds_completed_total", "successfully completed federated rounds"),
 		retries:     reg.Counter("rfl_round_retries_total", "round attempts that failed quorum and were retried"),
 		evictions:   reg.Counter("rfl_evictions_total", "clients evicted from sessions"),
@@ -70,6 +77,13 @@ func newServerMetrics(reg *telemetry.Registry, algo Algorithm) *serverMetrics {
 			deltaAgeBuckets),
 		staleRows: reg.Gauge("rfl_delta_stale_rows", "δ rows currently beyond MaxStaleness (excluded from targets)"),
 	}
+	for s := compress.SchemeDense; int(s) < compress.NumSchemes; s++ {
+		m.schemeSent[s] = reg.Counter(`rfl_codec_payload_bytes_total{dir="sent",scheme="`+s.String()+`"}`,
+			"vector-payload bytes sent by the server, per wire codec scheme")
+		m.schemeRecv[s] = reg.Counter(`rfl_codec_payload_bytes_total{dir="recv",scheme="`+s.String()+`"}`,
+			"vector-payload bytes received by the server, per wire codec scheme")
+	}
+	return m
 }
 
 // observeDeltaAges records every row's age after the round's Tick and
@@ -90,19 +104,35 @@ func (m *serverMetrics) observeDeltaAges(t *core.DeltaTable, maxStale int) {
 // DeadlineConn (sendCtx/recvCtx type-assert *DeadlineConn on the outside),
 // so deadline semantics are untouched.
 func (m *serverMetrics) meter(c Conn) Conn {
-	return &meteredConn{Conn: c, sent: m.bytesSent, recv: m.bytesRecv}
+	return &meteredConn{Conn: c, m: m}
 }
 
 type meteredConn struct {
 	Conn
-	sent, recv *telemetry.Counter
+	m *serverMetrics
+}
+
+// countSchemes attributes a message's vector payloads to the per-scheme
+// byte series. Dense Params/Delta slices count under "dense"; packed vectors
+// under their scheme tag.
+func countSchemes(ctrs *[compress.NumSchemes]*telemetry.Counter, m *Message) {
+	if n := 8 * (len(m.Params) + len(m.Delta)); n > 0 {
+		ctrs[compress.SchemeDense].Add(int64(n))
+	}
+	if m.PParams.N > 0 && m.PParams.Scheme.Valid() {
+		ctrs[m.PParams.Scheme].Add(int64(len(m.PParams.Data)))
+	}
+	if m.PDelta.N > 0 && m.PDelta.Scheme.Valid() {
+		ctrs[m.PDelta.Scheme].Add(int64(len(m.PDelta.Data)))
+	}
 }
 
 func (c *meteredConn) Send(m *Message) error {
 	if err := c.Conn.Send(m); err != nil {
 		return err
 	}
-	c.sent.Add(int64(m.EncodedSize()))
+	c.m.bytesSent.Add(int64(m.EncodedSize()))
+	countSchemes(&c.m.schemeSent, m)
 	return nil
 }
 
@@ -111,6 +141,7 @@ func (c *meteredConn) Recv() (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.recv.Add(int64(m.EncodedSize()))
+	c.m.bytesRecv.Add(int64(m.EncodedSize()))
+	countSchemes(&c.m.schemeRecv, m)
 	return m, nil
 }

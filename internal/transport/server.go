@@ -8,10 +8,28 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
+
+// CodecPolicy is the server's preferred wire scheme per payload class. Each
+// client gets the preferred scheme only if its join handshake advertised it
+// (compress.Negotiate), so a mixed fleet degrades per client to dense
+// instead of failing. The zero value means everything ships dense float64.
+type CodecPolicy struct {
+	// Broadcast compresses the server→client model params
+	// (MsgAssign/MsgDeltaReq).
+	Broadcast compress.Scheme
+	// Update compresses the client→server trained model. A non-dense update
+	// ships as the difference against the assigned broadcast, reconstructed
+	// server-side against the same reference.
+	Update compress.Scheme
+	// Delta compresses the δ-map payloads of rFedAvg+'s second
+	// synchronization, both directions.
+	Delta compress.Scheme
+}
 
 // Algorithm selects the server-side aggregation protocol.
 type Algorithm string
@@ -34,8 +52,12 @@ type ServerConfig struct {
 	// ⌈SR·N⌉ clients train; the rest receive MsgSkip. Values ≤ 0 or ≥ 1
 	// mean full participation.
 	SampleRatio float64
-	// Seed drives cohort sampling.
+	// Seed drives cohort sampling and the server side of stochastic wire
+	// quantization (keyed per round/client, so resume is bitwise).
 	Seed int64
+	// Codec selects the preferred wire compression per payload class; the
+	// zero value ships everything dense.
+	Codec CodecPolicy
 
 	// RoundDeadline bounds every protocol phase (join, assign+gather,
 	// δ sync, done). A client that has not answered when the deadline
@@ -147,6 +169,8 @@ type session struct {
 	res        *ServerResult
 	metrics    *serverMetrics
 	lastFault  string
+	// codec is the per-client negotiated wire-compression state.
+	codec sessionCodec
 	// sessCtx is the root span all round/checkpoint spans parent to.
 	sessCtx telemetry.SpanContext
 	// rec is the reused ledger record; its slices are refilled each round
@@ -166,6 +190,79 @@ type session struct {
 type pendingJoin struct {
 	conn Conn
 	join *Message
+}
+
+// sessionCodec is the per-client negotiated wire-compression state: the
+// scheme chosen per payload class from the join handshake's caps, plus the
+// encode/decode buffers of the compressed path. Everything is indexed by
+// client slot, so the concurrent broadcast goroutines never share buffers,
+// and the buffers reach zero steady-state allocations once grown.
+type sessionCodec struct {
+	policy CodecPolicy
+	seed   int64
+	n      int // client slots; also the stride separating server RNG salts
+
+	caps  []compress.Caps
+	bcast []compress.Scheme // server→client model params
+	upd   []compress.Scheme // client→server trained model
+	delta []compress.Scheme // δ payloads, both directions
+
+	// bcastRef[i] is the decoded broadcast client i actually received this
+	// round — the reference its packed (difference-coded) update is
+	// reconstructed against. Only maintained when bcast[i] is lossy.
+	bcastRef  [][]float64
+	bcastBuf  [][]byte // MsgAssign packed params
+	dreqBuf   [][]byte // MsgDeltaReq packed params
+	targetBuf [][]byte // MsgAssign packed δ target
+	updDec    [][]float64
+	deltaDec  [][]float64
+}
+
+func (c *sessionCodec) init(policy CodecPolicy, seed int64, n int) {
+	c.policy, c.seed, c.n = policy, seed, n
+	c.caps = make([]compress.Caps, n)
+	c.bcast = make([]compress.Scheme, n)
+	c.upd = make([]compress.Scheme, n)
+	c.delta = make([]compress.Scheme, n)
+	c.bcastRef = make([][]float64, n)
+	c.bcastBuf = make([][]byte, n)
+	c.dreqBuf = make([][]byte, n)
+	c.targetBuf = make([][]byte, n)
+	c.updDec = make([][]float64, n)
+	c.deltaDec = make([][]float64, n)
+}
+
+// negotiate records client i's advertised caps and picks its scheme per
+// payload class. Runs at every (re)join, so a rejoining binary with
+// different caps renegotiates cleanly.
+func (c *sessionCodec) negotiate(i int, caps compress.Caps) {
+	c.caps[i] = caps
+	c.bcast[i] = compress.Negotiate(c.policy.Broadcast, caps)
+	c.upd[i] = compress.Negotiate(c.policy.Update, caps)
+	c.delta[i] = compress.Negotiate(c.policy.Delta, caps)
+}
+
+// resizeFloats grows *buf to n elements, reusing its backing array when it
+// already fits.
+func resizeFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// packVec encodes v under s into *buf (grown as needed, reused otherwise)
+// and returns the framed payload.
+func packVec(buf *[]byte, s compress.Scheme, v []float64, rng *rand.Rand) PackedVec {
+	need := compress.EncodedBytes(s, len(v))
+	if cap(*buf) < need {
+		*buf = make([]byte, need)
+	}
+	b := (*buf)[:need]
+	*buf = b
+	compress.EncodeInto(s, b, v, rng)
+	return PackedVec{Scheme: s, N: int32(len(v)), Data: b}
 }
 
 // Serve runs a synchronous federated session over the given established
@@ -200,6 +297,7 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 		res:        &ServerResult{},
 	}
 	s.table.MaxStale = cfg.MaxStaleness
+	s.codec.init(cfg.Codec, cfg.Seed, len(conns))
 	s.metrics = newServerMetrics(cfg.Metrics, cfg.Algorithm)
 	for i, c := range conns {
 		s.conns[i] = s.wrap(c)
@@ -379,6 +477,7 @@ func (s *session) collectJoins() error {
 			s.evict(i, -1, fmt.Sprintf("joined with %d samples", m.NumSamples))
 		default:
 			s.samples[i] = float64(m.NumSamples)
+			s.codec.negotiate(i, m.Caps)
 		}
 	}
 	if s.activeCount() == 0 {
@@ -548,6 +647,7 @@ func (s *session) place(p pendingJoin) {
 	s.conns[slot] = p.conn
 	s.active[slot] = true
 	s.samples[slot] = float64(p.join.NumSamples)
+	s.codec.negotiate(slot, p.join.Caps)
 	s.res.Rejoins++
 	s.metrics.rejoins.Inc()
 	s.logf("client rejoined into slot %d (%d samples, δ age %d)", slot, p.join.NumSamples, s.table.Age(slot))
@@ -615,9 +715,29 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		if !cohort[i] {
 			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 		}
-		m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Params: s.global}
+		m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Want: s.codec.upd[i]}
+		if bs := s.codec.bcast[i]; bs != compress.SchemeDense {
+			// Server encode RNGs are salted by slot plus a stride per payload
+			// class, so no two encodes of one round share a stream; re-derived
+			// per (Seed, round), they replay bitwise on retry and resume.
+			m.PParams = packVec(&s.codec.bcastBuf[i], bs, s.global, compress.RNG(s.cfg.Seed, round, i+s.codec.n))
+			// Keep the decoded broadcast: it is both what the client trains
+			// from and the reference its packed update is rebuilt against.
+			ref := resizeFloats(&s.codec.bcastRef[i], len(s.global))
+			if err := compress.DecodeInto(ref, bs, m.PParams.Data); err != nil {
+				panic(fmt.Sprintf("transport: self-decode of broadcast failed: %v", err))
+			}
+			compress.ObserveReconError(bs, compress.RelError(s.global, ref))
+		} else {
+			m.Params = s.global
+		}
 		if plus {
-			m.Delta = s.table.MeanExcluding(i)
+			target := s.table.MeanExcluding(i)
+			if ds := s.codec.delta[i]; ds != compress.SchemeDense && len(target) > 0 {
+				m.PDelta = packVec(&s.codec.targetBuf[i], ds, target, compress.RNG(s.cfg.Seed, round, i+2*s.codec.n))
+			} else {
+				m.Delta = target
+			}
 		}
 		return m
 	})
@@ -632,12 +752,41 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	cancel()
 
 	// Validate before aggregating: a single NaN/Inf in params or loss
-	// would otherwise poison the global model silently.
+	// would otherwise poison the global model silently. Packed updates are
+	// difference-coded: params = reference + decode(payload), where the
+	// reference is the decoded broadcast the client trained from (the exact
+	// global when the broadcast itself went dense).
 	delivered := make([]bool, len(s.conns))
 	valid := 0
 	for i, m := range updates {
 		if m == nil {
 			continue
+		}
+		if m.PParams.N > 0 {
+			if int(m.PParams.N) != len(s.global) {
+				s.evict(i, round, fmt.Sprintf("sent packed update of %d params, want %d", m.PParams.N, len(s.global)))
+				updates[i] = nil
+				continue
+			}
+			dec := resizeFloats(&s.codec.updDec[i], len(s.global))
+			if err := compress.DecodeInto(dec, m.PParams.Scheme, m.PParams.Data); err != nil {
+				s.evict(i, round, fmt.Sprintf("packed update: %v", err))
+				updates[i] = nil
+				continue
+			}
+			ref := s.global
+			if s.codec.bcast[i] != compress.SchemeDense {
+				ref = s.codec.bcastRef[i]
+			}
+			for j := range dec {
+				dec[j] += ref[j]
+			}
+			m.Params = dec
+			if s.cfg.Ledger != nil && rec.UpScheme == "" {
+				rec.UpScheme = m.PParams.Scheme.String()
+			}
+		} else if s.cfg.Ledger != nil && rec.UpScheme == "" && len(m.Params) > 0 {
+			rec.UpScheme = compress.SchemeDense.String()
 		}
 		switch {
 		case len(m.Params) != len(s.global):
@@ -702,13 +851,31 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			if !delivered[i] {
 				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 			}
-			return &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Params: s.global}
+			m := &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Want: s.codec.delta[i]}
+			if bs := s.codec.bcast[i]; bs != compress.SchemeDense {
+				m.PParams = packVec(&s.codec.dreqBuf[i], bs, s.global, compress.RNG(s.cfg.Seed, round, i+3*s.codec.n))
+			} else {
+				m.Params = s.global
+			}
+			return m
 		})
 		deltas := s.gatherActive(ctx2, round, delivered, MsgDelta, "delta_client", td.Context())
 		cancel2()
 		for i, m := range deltas {
 			if m == nil {
 				continue
+			}
+			if m.PDelta.N > 0 {
+				if int(m.PDelta.N) != s.cfg.FeatureDim {
+					s.evict(i, round, fmt.Sprintf("sent packed δ of %d dims, want %d", m.PDelta.N, s.cfg.FeatureDim))
+					continue
+				}
+				dec := resizeFloats(&s.codec.deltaDec[i], s.cfg.FeatureDim)
+				if err := compress.DecodeInto(dec, m.PDelta.Scheme, m.PDelta.Data); err != nil {
+					s.evict(i, round, fmt.Sprintf("packed δ: %v", err))
+					continue
+				}
+				m.Delta = dec
 			}
 			switch {
 			case len(m.Delta) != s.cfg.FeatureDim:
