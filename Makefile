@@ -1,14 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-race telemetry-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
+.PHONY: all ci build vet test test-race telemetry-smoke chaos-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
 # The full CI gate, in dependency order: static checks and unit tests, the
 # race pass, the observability smoke (metrics scrape + trace/ledger
-# validation), the decoder fuzz pass, the hot-path benchmark regression
-# gate, and the parallel-speedup smoke.
-ci: vet test test-race telemetry-smoke fuzz-short bench-compare bench-smoke
+# validation), the async straggler matrix under the race detector, the
+# decoder fuzz pass, the hot-path benchmark regression gate, and the
+# parallel-speedup smoke.
+ci: vet test test-race telemetry-smoke chaos-smoke fuzz-short bench-compare bench-smoke
 
 build:
 	go build ./...
@@ -46,6 +47,14 @@ telemetry-smoke:
 		-ledger $$tmp/ledger-q8.jsonl >/dev/null && \
 	grep -q '"up_scheme":"q8"' $$tmp/ledger-q8.jsonl && \
 	rm -rf $$tmp && echo "trace/ledger smoke passed"
+
+# Prove the async robustness claim under the race detector: the seeded
+# straggler matrix (async per-round wall clock within ~1.2× fault-free
+# while sync degrades), the end-to-end fold/buffer session, the BufferK=0
+# bitwise-sync equivalence, and the buffered-checkpoint resume path.
+chaos-smoke:
+	go test -race -count 1 ./internal/transport \
+		-run 'TestAsyncStragglerMatrix|TestAsyncSessionFoldsStraggler|TestAsyncBufferKZeroMatchesSync|TestResumeRestoresBufferedUpdates|TestDeadlineController'
 
 # The full benchmark harness: one testing.B benchmark per paper table and
 # figure plus ablations and micro-benchmarks.

@@ -7,6 +7,10 @@
 //
 // Every client of one session must use the same -dataset, -featdim, and
 // -modelseed as the server, and a distinct -shard in [0, -of).
+//
+// The server's asynchronous mode (flserver -async) is transparent here: a
+// client that misses a round's buffer keeps training and uploads as usual;
+// the server parks the late update and folds it into a later round.
 package main
 
 import (

@@ -18,6 +18,14 @@
 // retried, and -checkpoint makes the server persist round checkpoints so a
 // killed session can be resumed with -resume.
 //
+// Asynchronous aggregation: -async closes each round once the -buffer-k
+// fastest updates arrive; stragglers keep running and their updates are
+// folded into the next round's aggregate, discounted by 1/(1+age)^λ
+// (-staleness-lambda). -adaptive-deadline replaces the fixed -deadline with
+// a per-round deadline tracking per-client round-time EWMAs, clamped to
+// [-min-deadline, -max-deadline]. Buffered updates survive checkpoints, so
+// -resume restores them bit-for-bit.
+//
 // Observability: -telemetry-addr starts an HTTP listener exposing the
 // process's metric registry as Prometheus text at /metrics, a liveness
 // probe at /healthz, and the standard pprof endpoints under /debug/pprof/.
@@ -59,6 +67,7 @@ func main() {
 		compressUp    = cliflags.Compress("dense")
 		compressBcast = flag.String("compress-bcast", "dense", "wire-compression scheme for the model broadcast: dense, f32, q8, or q1")
 
+		async      = cliflags.AsyncFlags(true)
 		deadline   = flag.Duration("deadline", 30*time.Second, "per-phase deadline; clients that miss it are evicted (0 disables)")
 		minClients = flag.Int("min-clients", 1, "quorum: rounds with fewer valid updates are retried")
 		maxRetries = flag.Int("max-retries", 2, "consecutive failed attempts of one round before aborting")
@@ -142,19 +151,25 @@ func main() {
 	}()
 
 	cfg := transport.ServerConfig{
-		Algorithm:       transport.Algorithm(*algo),
-		Rounds:          *rounds,
-		InitialParams:   net.GetFlat(),
-		FeatureDim:      net.FeatureDim,
-		SampleRatio:     *sr,
-		Seed:            *seed,
-		RoundDeadline:   *deadline,
-		MinClients:      *minClients,
-		MaxRoundRetries: *maxRetries,
-		MaxStaleness:    *maxStale,
-		Rejoin:          rejoin,
-		CheckpointPath:  *ckptPath,
-		CheckpointEvery: *ckptEvery,
+		Algorithm:        transport.Algorithm(*algo),
+		Rounds:           *rounds,
+		InitialParams:    net.GetFlat(),
+		FeatureDim:       net.FeatureDim,
+		SampleRatio:      *sr,
+		Seed:             *seed,
+		RoundDeadline:    *deadline,
+		MinClients:       *minClients,
+		Async:            *async.Enabled,
+		BufferK:          *async.BufferK,
+		StalenessLambda:  *async.StalenessLambda,
+		AdaptiveDeadline: *async.Adaptive,
+		MinDeadline:      *async.MinDeadline,
+		MaxDeadline:      *async.MaxDeadline,
+		MaxRoundRetries:  *maxRetries,
+		MaxStaleness:     *maxStale,
+		Rejoin:           rejoin,
+		CheckpointPath:   *ckptPath,
+		CheckpointEvery:  *ckptEvery,
 		Codec: transport.CodecPolicy{
 			Broadcast: bcastScheme,
 			Update:    upScheme,

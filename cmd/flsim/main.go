@@ -8,6 +8,11 @@
 //	      -e 5 -b 50 -sr 1.0 -sim 0 -lambda 5e-3
 //	flsim -dataset sent140 -method fedavg -natural -clients 20 -rounds 10
 //
+// Asynchronous aggregation: -async keeps only the -buffer-k fastest updates
+// per round (under a simulated latency model; -slow makes chosen clients
+// persistently slow) and folds deferred updates into later rounds with the
+// 1/(1+age)^λ staleness discount (-staleness-lambda).
+//
 // Observability: -trace writes the run's span tree (session → round →
 // client_round → local_steps/mmd_grad) and -ledger one training-dynamics
 // record per round (loss, per-client losses and update norms, the pairwise
@@ -21,6 +26,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/cliflags"
@@ -52,6 +58,8 @@ func main() {
 		testN      = flag.Int("test", 800, "test samples (image datasets)")
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		seed       = flag.Int64("seed", 1, "random seed")
+		async      = cliflags.AsyncFlags(false)
+		slow       = flag.String("slow", "", "comma-separated per-client latency multipliers for the async simulator, e.g. 1,1,8,1 (empty = uniform)")
 		compressV  = cliflags.Compress("dense")
 		compressEF = flag.Bool("compress-ef", false, "carry quantization residuals across rounds (error feedback)")
 		showTelem  = cliflags.Summary()
@@ -95,20 +103,30 @@ func main() {
 		shards[k] = train.Subset(idx)
 	}
 
+	slowFactor, err := parseSlow(*slow, *clients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(2)
+	}
+
 	cfg := fl.Config{
-		Builder:      builder,
-		ModelSeed:    *seed * 31,
-		Seed:         *seed * 17,
-		LocalSteps:   *e,
-		BatchSize:    *b,
-		SampleRatio:  *sr,
-		LR:           opt.ConstLR(*lr),
-		NewOptimizer: newOpt,
-		Compress:     scheme,
-		CompressEF:   *compressEF,
-		Tracer:       obs.Tracer,
-		Ledger:       obs.Ledger,
-		Events:       obs.Events,
+		Builder:         builder,
+		ModelSeed:       *seed * 31,
+		Seed:            *seed * 17,
+		LocalSteps:      *e,
+		BatchSize:       *b,
+		SampleRatio:     *sr,
+		LR:              opt.ConstLR(*lr),
+		NewOptimizer:    newOpt,
+		Compress:        scheme,
+		CompressEF:      *compressEF,
+		Async:           *async.Enabled,
+		BufferK:         *async.BufferK,
+		StalenessLambda: *async.StalenessLambda,
+		SlowFactor:      slowFactor,
+		Tracer:          obs.Tracer,
+		Ledger:          obs.Ledger,
+		Events:          obs.Events,
 	}
 	f := fl.NewFederation(cfg, shards, test)
 
@@ -179,6 +197,29 @@ func makeData(dataset string, trainN, testN, clients, featureDim int, seed int64
 	default:
 		return nil, nil, nil, 0, nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
+}
+
+// parseSlow parses the -slow multiplier list. An empty value means uniform
+// latency; otherwise exactly one multiplier per client is required.
+func parseSlow(v string, clients int) ([]float64, error) {
+	if v == "" {
+		return nil, nil
+	}
+	parts := strings.Split(v, ",")
+	if len(parts) != clients {
+		return nil, fmt.Errorf("-slow: got %d multipliers, want %d (one per client)", len(parts), clients)
+	}
+	fs := make([]float64, len(parts))
+	for i, p := range parts {
+		var err error
+		if fs[i], err = strconv.ParseFloat(strings.TrimSpace(p), 64); err != nil {
+			return nil, fmt.Errorf("-slow: %q: %v", p, err)
+		}
+		if fs[i] <= 0 {
+			return nil, fmt.Errorf("-slow: multiplier %g must be positive", fs[i])
+		}
+	}
+	return fs, nil
 }
 
 func flagWasSet(name string) bool {

@@ -1,0 +1,46 @@
+package core
+
+// AgeTrack counts, per client, how many rounds have passed since the
+// client's last aggregated model update — the model-update twin of the
+// DeltaTable's per-row staleness ages. The transport server uses one to
+// drive its update-staleness telemetry and to persist staleness state in
+// round checkpoints, so a resumed asynchronous session discounts late
+// updates exactly like the uninterrupted one would have.
+//
+// The age convention matches DeltaTable: Reset zeroes an entry, Tick
+// advances every entry once per completed round, so a client that
+// contributed this round ends the round at age 1 and a client that never
+// contributed reports the rounds since track creation.
+type AgeTrack struct {
+	ages []int
+}
+
+// NewAgeTrack creates an all-zero track for n clients.
+func NewAgeTrack(n int) *AgeTrack { return &AgeTrack{ages: make([]int, n)} }
+
+// Len returns the number of tracked clients.
+func (t *AgeTrack) Len() int { return len(t.ages) }
+
+// Age returns client k's rounds-since-last-contribution count.
+func (t *AgeTrack) Age(k int) int { return t.ages[k] }
+
+// SetAge restores client k's age (checkpoint restore).
+func (t *AgeTrack) SetAge(k, age int) { t.ages[k] = age }
+
+// Reset marks client k as having contributed this round.
+func (t *AgeTrack) Reset(k int) { t.ages[k] = 0 }
+
+// Tick advances every client's age by one round. Call once per completed
+// round, after the round's contributors were Reset.
+func (t *AgeTrack) Tick() {
+	for k := range t.ages {
+		t.ages[k]++
+	}
+}
+
+// ForEach calls fn with every client's current age, in slot order.
+func (t *AgeTrack) ForEach(fn func(k, age int)) {
+	for k, a := range t.ages {
+		fn(k, a)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+func TestAgeTrackLifecycle(t *testing.T) {
+	a := NewAgeTrack(3)
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	for k := 0; k < 3; k++ {
+		if a.Age(k) != 0 {
+			t.Fatalf("fresh track: age[%d] = %d, want 0", k, a.Age(k))
+		}
+	}
+	// Round 1: slots 0 and 2 contribute, slot 1 does not.
+	a.Reset(0)
+	a.Reset(2)
+	a.Tick()
+	// Round 2: only slot 1 contributes.
+	a.Reset(1)
+	a.Tick()
+	want := []int{2, 1, 2}
+	for k, w := range want {
+		if a.Age(k) != w {
+			t.Fatalf("after two rounds: age[%d] = %d, want %d", k, a.Age(k), w)
+		}
+	}
+
+	a.SetAge(0, 7)
+	if a.Age(0) != 7 {
+		t.Fatalf("SetAge: age[0] = %d, want 7", a.Age(0))
+	}
+
+	sum := 0
+	seen := map[int]int{}
+	a.ForEach(func(k, age int) { seen[k] = age; sum++ })
+	if sum != 3 || seen[0] != 7 || seen[1] != 1 || seen[2] != 2 {
+		t.Fatalf("ForEach visited %v (%d calls)", seen, sum)
+	}
+}

@@ -92,13 +92,20 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		out.ReconErr = f.CompressUplink(w, round, c, 0, global, out.Params)
 		return out
 	})
-	norms := fl.UpdateNorms(a.global, outs)
-	a.global = fl.WeightedAverage(outs)
+	// Async mode folds previously parked updates in with a staleness
+	// discount; in sync mode agg == outs and the weights are plain n_k.
+	agg, ages := f.ApplyAsync(round, outs)
+	norms := fl.UpdateNorms(a.global, agg)
+	a.global = fl.WeightedAverageStale(agg, ages, f.Cfg.StalenessLambda)
 
 	// Second communication (lines 13–16): the server sends the *new global*
-	// model; every sampled client recomputes its map with it.
+	// model; every fresh client recomputes its map with it. Clients whose
+	// update was folded late trained for an older round and are still
+	// considered in flight, so their δ rows simply age until they are
+	// sampled fresh again (the MaxStale bound then excludes overripe rows).
+	fresh := fl.FreshIDs(agg, ages)
 	newGlobal := a.global
-	deltaOuts := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
+	deltaOuts := f.MapClients(round, fresh, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
 		w.Net().SetFlat(newGlobal)
 		delta := make([]float64, f.FeatureDim())
 		cd := f.Cfg.Tracer.Start("compute_delta", w.SpanContext())
@@ -123,17 +130,18 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		a.table.MeanExcludingInto(a.avgMinus[k], k)
 	}
 
-	p := int64(len(sampled))
+	p, p2 := int64(len(sampled)), int64(len(fresh))
 	d := f.FeatureDim()
 	rr := fl.RoundResult{
-		TrainLoss:    fl.MeanLoss(outs),
-		ClientLosses: fl.LossMap(outs),
+		TrainLoss:    fl.MeanLossStale(agg, ages, f.Cfg.StalenessLambda),
+		ClientLosses: fl.LossMap(agg),
 		ClientNorms:  norms,
-		// Down: (model + average map) in sync #1, model again in sync #2.
-		DownBytes: p * (2*fl.PayloadBytes(f.NumParams()) + fl.PayloadBytes(d)),
+		// Down: (model + average map) in sync #1, model again in sync #2
+		// (only fresh clients take part in the second synchronization).
+		DownBytes: p*(fl.PayloadBytes(f.NumParams())+fl.PayloadBytes(d)) + p2*fl.PayloadBytes(f.NumParams()),
 		// Up: model in sync #1, own map in sync #2, each under the
 		// configured uplink codec.
-		UpBytes: p * (f.UplinkBytes(f.NumParams()) + f.UplinkBytes(d)),
+		UpBytes: p*f.UplinkBytes(f.NumParams()) + p2*f.UplinkBytes(d),
 	}
 	f.AnnotateCodec(&rr, outs, deltaOuts)
 	return rr

@@ -35,12 +35,13 @@ func (a *FedAvg) Round(round int, sampled []int) RoundResult {
 		out.ReconErr = f.CompressUplink(w, round, c, 0, a.global, out.Params)
 		return out
 	})
-	norms := UpdateNorms(a.global, outs)
-	a.global = WeightedAverage(outs)
+	agg, ages := f.ApplyAsync(round, outs)
+	norms := UpdateNorms(a.global, agg)
+	a.global = WeightedAverageStale(agg, ages, f.Cfg.StalenessLambda)
 	p := int64(len(sampled))
 	rr := RoundResult{
-		TrainLoss:    MeanLoss(outs),
-		ClientLosses: LossMap(outs),
+		TrainLoss:    MeanLossStale(agg, ages, f.Cfg.StalenessLambda),
+		ClientLosses: LossMap(agg),
 		ClientNorms:  norms,
 		DownBytes:    p * PayloadBytes(f.NumParams()),
 		UpBytes:      p * f.UplinkBytes(f.NumParams()),

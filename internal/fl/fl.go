@@ -61,6 +61,23 @@ type Config struct {
 	// compressed update (EF-SGD); δ maps are never error-fed.
 	CompressEF bool
 
+	// Async enables the simulation twin of the transport layer's buffered
+	// aggregation (FedBuff-style): each round aggregates only the BufferK
+	// fastest sampled clients under a seeded latency model; the rest are
+	// parked and folded into a later round's aggregate with the staleness
+	// discount 1/(1+age)^StalenessLambda. Deterministic: latency draws are
+	// keyed to (Seed, round, client).
+	Async bool
+	// BufferK is the async buffer size; ≤ 0 (or ≥ the cohort size) closes
+	// every round over the full cohort.
+	BufferK int
+	// StalenessLambda is λ in the staleness discount applied to folded
+	// updates; ≤ 0 disables discounting (late updates weigh like fresh).
+	StalenessLambda float64
+	// SlowFactor[k] scales client k's simulated latency (unset entries mean
+	// 1), modeling persistent stragglers; consulted only when Async is on.
+	SlowFactor []float64
+
 	// Tracer, when non-nil, records identified spans for the simulation
 	// (session → round → client_round → local_steps/mmd_grad, plus
 	// algorithm-added spans like compute_delta) to a JSONL trace file —
@@ -135,6 +152,9 @@ type Federation struct {
 	roundCtx telemetry.SpanContext
 	// rec is the reused ledger record; its slices are refilled each round.
 	rec telemetry.RoundRecord
+
+	// deferred holds parked async outputs by client ID (Config.Async).
+	deferred map[int]*deferredOut
 }
 
 type Worker struct {
@@ -200,7 +220,11 @@ func (f *Federation) InitialParams() []float64 {
 // (uniform ⌈SR·N⌉ by default), deterministically from the federation seed
 // and round number.
 func (f *Federation) SampleClients(round int) []int {
-	return f.Cfg.Sampler.Sample(f, round)
+	sampled := f.Cfg.Sampler.Sample(f, round)
+	if f.Cfg.Async {
+		sampled = f.filterAsyncBusy(sampled)
+	}
+	return sampled
 }
 
 // cohortSize returns ⌈SR·N⌉, clamped to [1, N].
@@ -718,8 +742,10 @@ func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
 		f.roundCtx = tRound.Context()
 		start := time.Now()
 		res := alg.Round(c, sampled)
-		dur := tRound.End()
-		f.recordLedger(alg, c, sampled, res, dur)
+		tRound.End()
+		// Ledger timing comes from its own clock: an inert span (nil
+		// tracer) has no meaningful start to measure from.
+		f.recordLedger(alg, c, sampled, res, time.Since(start))
 		if obs, ok := f.Cfg.Sampler.(LossObserver); ok {
 			for id, loss := range res.ClientLosses {
 				obs.Observe(id, loss)

@@ -60,6 +60,13 @@ type RoundRecord struct {
 
 	Evicted []int // client IDs evicted during this attempt
 	Rejoins int   // clients re-admitted at this round boundary
+
+	// Async-mode fields: the parked updates folded into this round's
+	// aggregate (LateAge aligned with LateID, in rounds), and the deadline
+	// in force for the attempt (0 means no deadline configured).
+	LateID      []int
+	LateAge     []int
+	DeadlineSec float64
 }
 
 // Reset clears r for reuse, keeping slice capacity.
@@ -80,6 +87,9 @@ func (r *RoundRecord) Reset() {
 	r.StaleRows = 0
 	r.Evicted = r.Evicted[:0]
 	r.Rejoins = 0
+	r.LateID = r.LateID[:0]
+	r.LateAge = r.LateAge[:0]
+	r.DeadlineSec = 0
 }
 
 // Record writes r as one JSON line. Safe on a nil ledger.
@@ -145,6 +155,16 @@ func (l *RunLedger) Record(r *RoundRecord) {
 	if r.Rejoins > 0 {
 		b = append(b, `,"rejoins":`...)
 		b = strconv.AppendInt(b, int64(r.Rejoins), 10)
+	}
+	if len(r.LateID) > 0 {
+		b = append(b, `,"late_id":`...)
+		b = appendJSONInts(b, r.LateID)
+		b = append(b, `,"late_age":`...)
+		b = appendJSONInts(b, r.LateAge)
+	}
+	if r.DeadlineSec > 0 {
+		b = append(b, `,"deadline_sec":`...)
+		b = appendJSONFloat(b, r.DeadlineSec)
 	}
 	b = append(b, '}', '\n')
 	l.buf = b

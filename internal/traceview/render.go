@@ -15,6 +15,13 @@ import (
 // client the round waited on. Ledger lines, when given, annotate each round
 // header with loss and wire bytes. width is the bar area in columns (0
 // means 64).
+//
+// Async sessions add two visual distinctions: spans that overran the round
+// (stragglers whose delivery the round stopped waiting for — their update is
+// buffered) render with '~' bars and a '~' prefix, and zero-width late_fold
+// spans (a parked update folded into this round's aggregate) render with a
+// '+' prefix. Neither participates in critical-path or straggler
+// attribution, since the round's wall time never waited on them.
 func Waterfall(w io.Writer, spans []Span, ledger []LedgerLine, width int) error {
 	if width <= 0 {
 		width = 64
@@ -55,6 +62,12 @@ func Waterfall(w io.Writer, spans []Span, ledger []LedgerLine, width int) error 
 			if len(l.Evicted) > 0 {
 				header += fmt.Sprintf("  evicted %v", l.Evicted)
 			}
+			if len(l.LateID) > 0 {
+				header += fmt.Sprintf("  late folds %v (ages %v)", l.LateID, l.LateAge)
+			}
+			if l.DeadlineSec > 0 {
+				header += fmt.Sprintf("  deadline %s", fmtDur(int64(l.DeadlineSec*1e9)))
+			}
 		}
 		fmt.Fprintln(w, header)
 
@@ -70,8 +83,13 @@ func Waterfall(w io.Writer, spans []Span, ledger []LedgerLine, width int) error 
 			}
 			mark := " "
 			bar := byte('-')
-			if onPath[s.Span] {
+			switch {
+			case onPath[s.Span]:
 				mark, bar = "*", '#'
+			case s.EndNS() > r.EndNS():
+				mark, bar = "~", '~' // overran the round; delivery buffered
+			case s.Name == "late_fold":
+				mark = "+" // parked update folded into this round
 			}
 			fmt.Fprintf(w, "  %s%-28s %9s |%s|\n",
 				mark, strings.Repeat("  ", depths[i])+label,
@@ -87,7 +105,7 @@ func Waterfall(w io.Writer, spans []Span, ledger []LedgerLine, width int) error 
 			names = append(names, n)
 		}
 		fmt.Fprintf(w, "  critical path: %s\n", strings.Join(names, " > "))
-		if sg := straggler(order); sg != nil && r.DurNS > 0 {
+		if sg := straggler(order, r.EndNS()); sg != nil && r.DurNS > 0 {
 			pct := 100 * float64(sg.EndNS()-r.StartNS) / float64(r.DurNS)
 			fmt.Fprintf(w, "  straggler: client %d finished last (%s %s, %.0f%% of round)\n",
 				*sg.Client, sg.Name, fmtDur(sg.DurNS), pct)
@@ -196,6 +214,26 @@ func Compare(w io.Writer, a, b []LedgerLine) error {
 		return err
 	}
 	fmt.Fprintf(w, "total wire: a=%s b=%s (a/b %.2f)\n", fmtBytes(totA), fmtBytes(totB), ratio(totA, totB))
+
+	// Straggler delta: per-round wall clock side by side with the late-fold
+	// counts, so an async run's critical-path win over a sync run under the
+	// same fault plan is visible in one table.
+	fmt.Fprintln(w, "straggler delta (per-round wall clock, late folds):")
+	tw = tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "round\tdur(a)\tdur(b)\tdur a/b\tlate(a)\tlate(b)")
+	var durA, durB int64
+	for _, r := range rounds {
+		la, lb := oa[r], ob[r]
+		durA += la.DurNS
+		durB += lb.DurNS
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.2f\t%d\t%d\n",
+			r, fmtDur(la.DurNS), fmtDur(lb.DurNS), ratio(la.DurNS, lb.DurNS),
+			len(la.LateID), len(lb.LateID))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "total wall clock: a=%s b=%s (a/b %.2f)\n", fmtDur(durA), fmtDur(durB), ratio(durA, durB))
 	return nil
 }
 

@@ -52,6 +52,11 @@ type LedgerLine struct {
 	StaleRows  int       `json:"stale_rows"`
 	Evicted    []int     `json:"evicted"`
 	Rejoins    int       `json:"rejoins"`
+	// Async-mode fields: parked updates folded late into this round's
+	// aggregate (LateAge aligned with LateID) and the deadline in force.
+	LateID      []int   `json:"late_id"`
+	LateAge     []int   `json:"late_age"`
+	DeadlineSec float64 `json:"deadline_sec"`
 }
 
 // MeanMMD is the mean off-diagonal entry of the record's pairwise MMD
@@ -208,19 +213,24 @@ func (t *tree) subtree(root *Span) ([]*Span, []int) {
 
 // criticalPath walks from root toward the latest-finishing child at every
 // level: the chain of spans the round's wall time actually waited on.
+// Spans that end after the root does — async stragglers whose delivery the
+// round stopped waiting for — are excluded: the round did not wait on them.
 func (t *tree) criticalPath(root *Span) []*Span {
 	path := []*Span{root}
+	end := root.EndNS()
 	cur := root
 	for {
-		kids := t.children[cur.Span]
-		if len(kids) == 0 {
-			return path
-		}
-		last := kids[0]
-		for _, k := range kids[1:] {
-			if k.EndNS() > last.EndNS() {
+		var last *Span
+		for _, k := range t.children[cur.Span] {
+			if k.EndNS() > end {
+				continue // overran the round: buffered, not waited on
+			}
+			if last == nil || k.EndNS() > last.EndNS() {
 				last = k
 			}
+		}
+		if last == nil {
+			return path
 		}
 		path = append(path, last)
 		cur = last
@@ -230,12 +240,14 @@ func (t *tree) criticalPath(root *Span) []*Span {
 // straggler finds the per-client span that finished last in the round's
 // subtree — the client the round waited on. Client-side spans (client_round)
 // are preferred over the server's wait spans (gather_client) when present.
-func straggler(order []*Span) *Span {
+// Spans ending after endNS (async overruns) are excluded: the round closed
+// without them, so they did not gate its wall time.
+func straggler(order []*Span, endNS int64) *Span {
 	var best *Span
 	pick := func(name string) *Span {
 		var s *Span
 		for _, c := range order {
-			if c.Name != name || c.Client == nil {
+			if c.Name != name || c.Client == nil || c.EndNS() > endNS {
 				continue
 			}
 			if s == nil || c.EndNS() > s.EndNS() {

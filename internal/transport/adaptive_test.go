@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func newTestController(n int, initial, minD, maxD time.Duration) (*deadlineController, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	m := newServerMetrics(reg, AlgoFedAvg)
+	return newDeadlineController(n, initial, minD, maxD, m), reg
+}
+
+func TestDeadlineControllerTracksQuantile(t *testing.T) {
+	ctrl, _ := newTestController(4, time.Second, 50*time.Millisecond, 2*time.Second)
+	if got := ctrl.current(); got != time.Second {
+		t.Fatalf("initial deadline %v, want 1s", got)
+	}
+	// Nothing observed: update keeps the current deadline.
+	if got := ctrl.update(); got != time.Second {
+		t.Fatalf("update with no observations moved the deadline to %v", got)
+	}
+
+	// A uniformly fast fleet pulls the deadline down toward
+	// headroom × EWMA, floored at min.
+	for round := 0; round < 20; round++ {
+		for c := 0; c < 4; c++ {
+			ctrl.observe(c, 100*time.Millisecond)
+		}
+		ctrl.update()
+	}
+	got := ctrl.current()
+	want := time.Duration(ctrlHeadroom * 0.1 * float64(time.Second)) // 150ms
+	if got < want-5*time.Millisecond || got > want+5*time.Millisecond {
+		t.Fatalf("converged deadline %v, want ≈%v", got, want)
+	}
+
+	// A single straggler stays above the 0.9-quantile of a 4-client fleet
+	// (q = int(0.9·3) = 2): the deadline must NOT chase the worst client.
+	for round := 0; round < 40; round++ {
+		for c := 0; c < 3; c++ {
+			ctrl.observe(c, 100*time.Millisecond)
+		}
+		ctrl.observe(3, 10*time.Second)
+		ctrl.update()
+	}
+	if got := ctrl.current(); got != want {
+		t.Fatalf("one straggler dragged the deadline to %v, want it held at ≈%v", got, want)
+	}
+
+	// When half the fleet is slow the quantile covers them: the deadline
+	// rises, clamped at the 2s ceiling.
+	for round := 0; round < 40; round++ {
+		ctrl.observe(0, 100*time.Millisecond)
+		ctrl.observe(1, 100*time.Millisecond)
+		ctrl.observe(2, 10*time.Second)
+		ctrl.observe(3, 10*time.Second)
+		ctrl.update()
+	}
+	if got := ctrl.current(); got != 2*time.Second {
+		t.Fatalf("slow-half deadline %v, want the 2s ceiling", got)
+	}
+}
+
+func TestDeadlineControllerClampsToFloor(t *testing.T) {
+	ctrl, _ := newTestController(2, time.Second, 200*time.Millisecond, 2*time.Second)
+	for round := 0; round < 20; round++ {
+		ctrl.observe(0, time.Millisecond)
+		ctrl.observe(1, time.Millisecond)
+		ctrl.update()
+	}
+	if got := ctrl.current(); got != 200*time.Millisecond {
+		t.Fatalf("deadline %v, want clamped to the 200ms floor", got)
+	}
+}
+
+// retune pushes the controller's deadline into live DeadlineConns and skips
+// inactive slots.
+func TestDeadlineControllerRetune(t *testing.T) {
+	ctrl, _ := newTestController(2, time.Second, 10*time.Millisecond, 2*time.Second)
+	a1, _ := Pipe()
+	a2, _ := Pipe()
+	d1 := NewDeadlineConn(a1, time.Second, time.Second)
+	d2 := NewDeadlineConn(a2, time.Second, time.Second)
+
+	for round := 0; round < 20; round++ {
+		ctrl.observe(0, 100*time.Millisecond)
+		ctrl.observe(1, 100*time.Millisecond)
+		ctrl.update()
+	}
+	ctrl.retune([]Conn{d1, d2}, []bool{true, false})
+	want := ctrl.current()
+	if got := time.Duration(d1.recvTimeout.Load()); got != want {
+		t.Fatalf("active conn recv timeout %v, want %v", got, want)
+	}
+	if got := time.Duration(d2.recvTimeout.Load()); got != time.Second {
+		t.Fatalf("inactive conn retuned to %v, want untouched 1s", got)
+	}
+}
+
+// The controller sits on the per-round hot path next to the
+// allocation-free telemetry: observing and retargeting must not allocate.
+func TestDeadlineControllerZeroAlloc(t *testing.T) {
+	ctrl, _ := newTestController(16, time.Second, 10*time.Millisecond, 10*time.Second)
+	// Pre-touch every slot so the steady state is measured.
+	for c := 0; c < 16; c++ {
+		ctrl.observe(c, time.Duration(c+1)*10*time.Millisecond)
+	}
+	ctrl.update()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for c := 0; c < 16; c++ {
+			ctrl.observe(c, time.Duration(c+1)*11*time.Millisecond)
+		}
+		ctrl.update()
+		ctrl.current()
+	})
+	if allocs != 0 {
+		t.Fatalf("controller round allocated %.1f times, want 0", allocs)
+	}
+}

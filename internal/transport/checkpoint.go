@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -26,11 +27,18 @@ type Checkpoint struct {
 	DeltaAges []int
 	// RoundLosses is the loss history of the completed rounds.
 	RoundLosses []float64
+	// UpdateAges[k] is how many rounds ago slot k's model update was last
+	// aggregated (version ≥ 2; nil when restored from a v1 file).
+	UpdateAges []int
+	// Buffered holds the async mode's parked-but-unaggregated late updates,
+	// so a resumed session folds exactly what the killed one would have
+	// (version ≥ 2).
+	Buffered []BufferedUpdate
 }
 
 const (
 	ckptMagic   = 0x52464350 // "RFCP"
-	ckptVersion = 1
+	ckptVersion = 2
 	// ckptMaxCount bounds every length field read from disk so a corrupt
 	// header cannot force a huge allocation.
 	ckptMaxCount = 1 << 24
@@ -77,7 +85,43 @@ func (ck *Checkpoint) Write(w io.Writer) error {
 			return fmt.Errorf("transport: checkpoint δ ages: %w", err)
 		}
 	}
-	return tensor.EncodeFloats(w, ck.RoundLosses)
+	if err := tensor.EncodeFloats(w, ck.RoundLosses); err != nil {
+		return err
+	}
+	// Version 2 sections: per-slot model-update ages, then the async
+	// buffered updates (count, then client/round/loss/params each).
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(ck.UpdateAges)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return fmt.Errorf("transport: checkpoint update-age count: %w", err)
+	}
+	for _, age := range ck.UpdateAges {
+		binary.LittleEndian.PutUint32(u32[:], uint32(age))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint update age: %w", err)
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(ck.Buffered)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return fmt.Errorf("transport: checkpoint buffered count: %w", err)
+	}
+	for _, b := range ck.Buffered {
+		var hdr [16]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(b.Client))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(b.Round))
+		binary.LittleEndian.PutUint64(hdr[8:], math.Float64bits(b.Loss))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint buffered header: %w", err)
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(b.Params)))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint buffered params len: %w", err)
+		}
+		if err := tensor.EncodeFloats(w, b.Params); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ReadCheckpoint parses a checkpoint written by Write.
@@ -89,8 +133,9 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != ckptMagic {
 		return nil, fmt.Errorf("transport: not a checkpoint (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != ckptVersion {
-		return nil, fmt.Errorf("transport: unsupported checkpoint version %d", v)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version < 1 || version > ckptVersion {
+		return nil, fmt.Errorf("transport: unsupported checkpoint version %d", version)
 	}
 	round := int(binary.LittleEndian.Uint32(hdr[8:]))
 	np := int(binary.LittleEndian.Uint32(hdr[12:]))
@@ -131,7 +176,60 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if ck.RoundLosses, err = tensor.DecodeFloats(r, nl); err != nil {
 		return nil, err
 	}
+	if version < 2 {
+		return ck, nil // v1 files end here; async state starts empty
+	}
+	nAges, err := readCount(r, "update-age count")
+	if err != nil {
+		return nil, err
+	}
+	if nAges > 0 {
+		buf := make([]byte, 4*nAges)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("transport: checkpoint update ages: %w", err)
+		}
+		ck.UpdateAges = make([]int, nAges)
+		for k := range ck.UpdateAges {
+			ck.UpdateAges[k] = int(binary.LittleEndian.Uint32(buf[4*k:]))
+		}
+	}
+	nBuf, err := readCount(r, "buffered count")
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < nBuf; j++ {
+		var hdr [16]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, fmt.Errorf("transport: checkpoint buffered header: %w", err)
+		}
+		b := BufferedUpdate{
+			Client: int(binary.LittleEndian.Uint32(hdr[0:])),
+			Round:  int(binary.LittleEndian.Uint32(hdr[4:])),
+			Loss:   math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:])),
+		}
+		plen, err := readCount(r, "buffered params len")
+		if err != nil {
+			return nil, err
+		}
+		if b.Params, err = tensor.DecodeFloats(r, plen); err != nil {
+			return nil, err
+		}
+		ck.Buffered = append(ck.Buffered, b)
+	}
 	return ck, nil
+}
+
+// readCount reads one u32 length field, bounded by ckptMaxCount.
+func readCount(r io.Reader, what string) (int, error) {
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return 0, fmt.Errorf("transport: checkpoint %s: %w", what, err)
+	}
+	n := int(binary.LittleEndian.Uint32(u32[:]))
+	if n > ckptMaxCount {
+		return 0, fmt.Errorf("transport: implausible checkpoint %s %d", what, n)
+	}
+	return n, nil
 }
 
 // SaveCheckpoint writes the checkpoint atomically: to a temp file in the

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,9 +23,12 @@ var ErrClosed = errors.New("transport: connection closed")
 // and the next Recv (or RecvContext) call observes it. The pump exits when
 // the inner connection errors or the wrapper is closed.
 type DeadlineConn struct {
-	inner       Conn
-	sendTimeout time.Duration
-	recvTimeout time.Duration
+	inner Conn
+	// Timeouts are stored as atomic nanosecond counts so the adaptive
+	// deadline controller can retune a live connection (SetTimeouts) while
+	// the protocol goroutines Send/Recv on it.
+	sendTimeout atomic.Int64
+	recvTimeout atomic.Int64
 
 	recvCh    chan recvResult
 	closed    chan struct{}
@@ -41,14 +45,26 @@ type recvResult struct {
 // via SendContext/RecvContext still apply).
 func NewDeadlineConn(inner Conn, sendTimeout, recvTimeout time.Duration) *DeadlineConn {
 	c := &DeadlineConn{
-		inner:       inner,
-		sendTimeout: sendTimeout,
-		recvTimeout: recvTimeout,
-		recvCh:      make(chan recvResult, 4),
-		closed:      make(chan struct{}),
+		inner:  inner,
+		recvCh: make(chan recvResult, 4),
+		closed: make(chan struct{}),
 	}
+	c.sendTimeout.Store(int64(sendTimeout))
+	c.recvTimeout.Store(int64(recvTimeout))
 	go c.pump()
 	return c
+}
+
+// SetTimeouts retunes both per-operation bounds; safe to call concurrently
+// with Send/Recv. A zero value disables the bound for that direction, and a
+// negative value leaves the current bound unchanged.
+func (c *DeadlineConn) SetTimeouts(sendTimeout, recvTimeout time.Duration) {
+	if sendTimeout >= 0 {
+		c.sendTimeout.Store(int64(sendTimeout))
+	}
+	if recvTimeout >= 0 {
+		c.recvTimeout.Store(int64(recvTimeout))
+	}
 }
 
 func (c *DeadlineConn) pump() {
@@ -68,9 +84,9 @@ func (c *DeadlineConn) pump() {
 // Recv receives with the configured timeout.
 func (c *DeadlineConn) Recv() (*Message, error) {
 	ctx := context.Background()
-	if c.recvTimeout > 0 {
+	if to := time.Duration(c.recvTimeout.Load()); to > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.recvTimeout)
+		ctx, cancel = context.WithTimeout(ctx, to)
 		defer cancel()
 	}
 	return c.RecvContext(ctx)
@@ -98,9 +114,9 @@ func (c *DeadlineConn) RecvContext(ctx context.Context) (*Message, error) {
 // Send sends with the configured timeout.
 func (c *DeadlineConn) Send(m *Message) error {
 	ctx := context.Background()
-	if c.sendTimeout > 0 {
+	if to := time.Duration(c.sendTimeout.Load()); to > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.sendTimeout)
+		ctx, cancel = context.WithTimeout(ctx, to)
 		defer cancel()
 	}
 	return c.SendContext(ctx, m)

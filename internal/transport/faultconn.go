@@ -36,6 +36,12 @@ type FaultPlan struct {
 	// DisconnectAfterOps, if > 0, forces the crash deterministically after
 	// that many Send/Recv calls.
 	DisconnectAfterOps int
+	// StragglerDelay is a persistent per-client slowdown: every operation
+	// sleeps this long, unconditionally and on top of any DelayProb roll.
+	// Unlike the i.i.d. per-op delay it models heterogeneous hardware — the
+	// same client is slow every round — which is what asynchronous buffered
+	// aggregation is designed to route around.
+	StragglerDelay time.Duration
 }
 
 // FaultConn wraps a Conn with the injected-fault schedule of a FaultPlan.
@@ -80,6 +86,7 @@ func (c *FaultConn) step() (delay time.Duration, alive bool, roll func(p float64
 	if c.plan.DelayProb > 0 && c.plan.MaxDelay > c.plan.MinDelay && c.rng.Float64() < c.plan.DelayProb {
 		delay = c.plan.MinDelay + time.Duration(1+c.rng.Int63n(int64(c.plan.MaxDelay-c.plan.MinDelay)))
 	}
+	delay += c.plan.StragglerDelay
 	return delay, true, func(p float64) bool {
 		c.mu.Lock()
 		defer c.mu.Unlock()

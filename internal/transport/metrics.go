@@ -43,6 +43,16 @@ type serverMetrics struct {
 
 	staleAge  *telemetry.Histogram
 	staleRows *telemetry.Gauge
+
+	// Async-mode series: how long each client takes to deliver its update
+	// (the adaptive deadline controller's input), the controller's current
+	// deadline, the number of updates folded late with a staleness discount,
+	// the buffered-updates backlog, and the per-client model-update ages.
+	clientRoundSec   *telemetry.Histogram
+	adaptiveDeadline *telemetry.Gauge
+	lateFolds        *telemetry.Counter
+	buffered         *telemetry.Gauge
+	updateAge        *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry, algo Algorithm) *serverMetrics {
@@ -76,6 +86,17 @@ func newServerMetrics(reg *telemetry.Registry, algo Algorithm) *serverMetrics {
 		staleAge: reg.Histogram("rfl_delta_staleness_age", "per-round ages of the δ-table rows",
 			deltaAgeBuckets),
 		staleRows: reg.Gauge("rfl_delta_stale_rows", "δ rows currently beyond MaxStaleness (excluded from targets)"),
+
+		clientRoundSec: reg.Histogram("rfl_client_round_seconds",
+			"per-client wall time from assignment to update delivery", telemetry.DefDurationBuckets),
+		adaptiveDeadline: reg.Gauge("rfl_adaptive_deadline_seconds",
+			"current adaptive per-operation deadline applied to client connections"),
+		lateFolds: reg.Counter("rfl_late_folds_total",
+			"buffered updates folded into a later round with a staleness discount"),
+		buffered: reg.Gauge("rfl_buffered_updates",
+			"updates currently parked for a later round's aggregation"),
+		updateAge: reg.Histogram("rfl_update_staleness_age",
+			"per-round ages of the clients' last aggregated model updates", deltaAgeBuckets),
 	}
 	for s := compress.SchemeDense; int(s) < compress.NumSchemes; s++ {
 		m.schemeSent[s] = reg.Counter(`rfl_codec_payload_bytes_total{dir="sent",scheme="`+s.String()+`"}`,
@@ -97,6 +118,12 @@ func (m *serverMetrics) observeDeltaAges(t *core.DeltaTable, maxStale int) {
 		}
 	})
 	m.staleRows.Set(float64(stale))
+}
+
+// observeUpdateAges records every slot's model-update age after the round's
+// Tick (the AgeTrack twin of observeDeltaAges).
+func (m *serverMetrics) observeUpdateAges(t *core.AgeTrack) {
+	t.ForEach(func(_, age int) { m.updateAge.Observe(float64(age)) })
 }
 
 // meter wraps a connection so every framed message is counted into the

@@ -69,6 +69,28 @@ type ServerConfig struct {
 	// updates fails and is retried (the global model is kept unchanged).
 	// Values < 1 mean 1.
 	MinClients int
+	// Async enables buffered (FedBuff-style) rounds: a round closes once
+	// BufferK cohort members delivered (quorum still respected), stragglers
+	// keep running and their updates are folded into a later round with the
+	// staleness discount 1/(1+age)^StalenessLambda. Slots with an update in
+	// flight or parked are excluded from new cohorts until it settles.
+	Async bool
+	// BufferK is the fresh-arrival target of an async round; ≤ 0 waits for
+	// the whole cohort (async plumbing, synchronous semantics).
+	BufferK int
+	// StalenessLambda is λ in the late-fold discount; ≤ 0 folds late
+	// updates at full weight.
+	StalenessLambda float64
+	// AdaptiveDeadline replaces the fixed RoundDeadline with a controller
+	// that tracks per-client round-time EWMAs and sets the deadline to a
+	// high quantile of them (with headroom), clamped to
+	// [MinDeadline, MaxDeadline]. Requires RoundDeadline > 0 (the starting
+	// value).
+	AdaptiveDeadline bool
+	// MinDeadline/MaxDeadline clamp the adaptive controller; ≤ 0 default to
+	// RoundDeadline/8 and RoundDeadline respectively.
+	MinDeadline time.Duration
+	MaxDeadline time.Duration
 	// MaxRoundRetries caps consecutive failed attempts of one round
 	// before the session aborts. 0 means 2.
 	MaxRoundRetries int
@@ -183,6 +205,17 @@ type session struct {
 	// predecessor's eviction surfaced; they are re-placed at every round
 	// boundary until a slot frees up.
 	pending []pendingJoin
+
+	// Async-mode state. busy[i] marks a slot whose update receiver is still
+	// in flight (that goroutine is the slot's sole receiver until it
+	// delivers on lateCh); buffered[i] is a parked late update awaiting its
+	// fold. updAges tracks rounds since each slot's last aggregated update;
+	// ctrl is the adaptive deadline controller (nil unless enabled).
+	busy     []bool
+	buffered []*BufferedUpdate
+	lateCh   chan lateMsg
+	updAges  *core.AgeTrack
+	ctrl     *deadlineController
 }
 
 // pendingJoin is a rejoining client that completed its handshake but is
@@ -299,6 +332,26 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 	s.table.MaxStale = cfg.MaxStaleness
 	s.codec.init(cfg.Codec, cfg.Seed, len(conns))
 	s.metrics = newServerMetrics(cfg.Metrics, cfg.Algorithm)
+	s.busy = make([]bool, len(conns))
+	s.buffered = make([]*BufferedUpdate, len(conns))
+	s.lateCh = make(chan lateMsg, len(conns))
+	s.updAges = core.NewAgeTrack(len(conns))
+	if cfg.AdaptiveDeadline {
+		if cfg.RoundDeadline <= 0 {
+			return nil, fmt.Errorf("transport: adaptive deadline requires a positive RoundDeadline to start from")
+		}
+		minD, maxD := cfg.MinDeadline, cfg.MaxDeadline
+		if minD <= 0 {
+			minD = cfg.RoundDeadline / 8
+		}
+		if maxD <= 0 {
+			maxD = cfg.RoundDeadline
+		}
+		if minD > maxD {
+			return nil, fmt.Errorf("transport: MinDeadline %v exceeds MaxDeadline %v", minD, maxD)
+		}
+		s.ctrl = newDeadlineController(len(conns), cfg.RoundDeadline, minD, maxD, s.metrics)
+	}
 	for i, c := range conns {
 		s.conns[i] = s.wrap(c)
 		s.active[i] = true
@@ -416,12 +469,22 @@ func (s *session) lastFaultOr(fallback string) string {
 	return s.lastFault
 }
 
+// curDeadline is the deadline currently in force: the adaptive controller's
+// bound when enabled, else the fixed RoundDeadline.
+func (s *session) curDeadline() time.Duration {
+	if s.ctrl != nil {
+		return s.ctrl.current()
+	}
+	return s.cfg.RoundDeadline
+}
+
 // phaseCtx returns the per-phase deadline context.
 func (s *session) phaseCtx() (context.Context, context.CancelFunc) {
-	if s.cfg.RoundDeadline <= 0 {
+	d := s.curDeadline()
+	if d <= 0 {
 		return context.Background(), func() {}
 	}
-	return context.WithTimeout(context.Background(), s.cfg.RoundDeadline)
+	return context.WithTimeout(context.Background(), d)
 }
 
 func (s *session) activeCount() int {
@@ -509,6 +572,9 @@ func (s *session) restore(ck *Checkpoint) (int, error) {
 			}
 		}
 	}
+	if err := s.restoreAsync(ck); err != nil {
+		return 0, err
+	}
 	s.res.RoundLosses = append(s.res.RoundLosses, ck.RoundLosses...)
 	return ck.Round, nil
 }
@@ -531,6 +597,16 @@ func (s *session) checkpoint(nextRound int) {
 			ck.DeltaRows[k] = append([]float64(nil), s.table.Get(k)...)
 			ck.DeltaAges[k] = s.table.Age(k)
 		}
+	}
+	ck.UpdateAges = make([]int, s.updAges.Len())
+	s.updAges.ForEach(func(k, age int) { ck.UpdateAges[k] = age })
+	// Parked-but-unaggregated updates ship with the checkpoint so a resumed
+	// session folds exactly what this one would have.
+	for _, b := range s.folds() {
+		ck.Buffered = append(ck.Buffered, BufferedUpdate{
+			Client: b.Client, Round: b.Round, Loss: b.Loss,
+			Params: append([]float64(nil), b.Params...),
+		})
 	}
 	span := telemetry.StartSpan(s.metrics.checkpointSec)
 	tCk := s.cfg.Tracer.Start("checkpoint", s.sessCtx)
@@ -585,8 +661,8 @@ func (s *session) waitForQuorum() bool {
 		return false
 	}
 	var timeout <-chan time.Time
-	if s.cfg.RoundDeadline > 0 {
-		t := time.NewTimer(s.cfg.RoundDeadline)
+	if d := s.curDeadline(); d > 0 {
+		t := time.NewTimer(d)
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -672,13 +748,16 @@ func (s *session) runRound(round, attempt int) bool {
 	evBefore := len(s.res.Evictions)
 	sentBefore, recvBefore := s.metrics.bytesSent.Value(), s.metrics.bytesRecv.Value()
 
+	start := time.Now()
 	ok := s.attemptRound(round, tRound.Context())
 
-	dur := tRound.End()
+	tRound.End()
 	roundSpan.End()
 	if s.cfg.Ledger != nil {
 		rec.OK = ok
-		rec.DurNanos = int64(dur)
+		// Measured with the session's own clock: an inert span (nil
+		// tracer) has no meaningful start to subtract from.
+		rec.DurNanos = int64(time.Since(start))
 		rec.DownBytes = s.metrics.bytesSent.Value() - sentBefore
 		rec.UpBytes = s.metrics.bytesRecv.Value() - recvBefore
 		for _, ev := range s.res.Evictions[evBefore:] {
@@ -703,7 +782,21 @@ func (s *session) runRound(round, attempt int) bool {
 func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	rec := &s.rec
 	plus := s.cfg.Algorithm == AlgoRFedAvgPlus
-	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), s.active, s.cfg.SampleRatio)
+	population := s.active
+	if s.cfg.Async {
+		// Settle straggler deliveries that landed between rounds, wait (if
+		// needed) until assignable + parked slots can reach quorum, and
+		// sample only from slots with no update in flight or parked.
+		s.drainLate(round)
+		s.awaitAvail(round)
+		population = s.asyncEligible()
+	}
+	if s.cfg.Ledger != nil {
+		if d := s.curDeadline(); d > 0 {
+			rec.DeadlineSec = d.Seconds()
+		}
+	}
+	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), population, s.cfg.SampleRatio)
 
 	// Sync #1: assign work to the cohort; skip everyone else. Assign frames
 	// carry the round span's context so client-side spans join the tree.
@@ -712,6 +805,9 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	tb := s.cfg.Tracer.Start("broadcast", roundCtx)
 	tb.Round = round
 	s.broadcastActive(ctx, round, roundCtx, func(i int) *Message {
+		if s.cfg.Async && s.busy[i] {
+			return nil // mid-round straggler: it gets nothing until it delivers
+		}
 		if !cohort[i] {
 			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 		}
@@ -730,6 +826,11 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			compress.ObserveReconError(bs, compress.RelError(s.global, ref))
 		} else {
 			m.Params = s.global
+			if s.cfg.Async && s.codec.upd[i] != compress.SchemeDense {
+				// A packed update is diff-coded against this broadcast, which
+				// a straggler's update may outlive — keep a copy as reference.
+				copy(resizeFloats(&s.codec.bcastRef[i], len(s.global)), s.global)
+			}
 		}
 		if plus {
 			target := s.table.MeanExcluding(i)
@@ -746,7 +847,12 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	gSpan := telemetry.StartSpan(s.metrics.gatherSec)
 	tg := s.cfg.Tracer.Start("gather", roundCtx)
 	tg.Round = round
-	updates := s.gatherActive(ctx, round, cohort, MsgUpdate, "gather_client", tg.Context())
+	var updates []*Message
+	if s.cfg.Async {
+		updates = s.gatherAsyncUpdates(round, cohort, tg.Context())
+	} else {
+		updates = s.gatherActive(ctx, round, cohort, MsgUpdate, "gather_client", tg.Context())
+	}
 	tg.End()
 	gSpan.End()
 	cancel()
@@ -762,32 +868,20 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		if m == nil {
 			continue
 		}
-		if m.PParams.N > 0 {
-			if int(m.PParams.N) != len(s.global) {
-				s.evict(i, round, fmt.Sprintf("sent packed update of %d params, want %d", m.PParams.N, len(s.global)))
-				updates[i] = nil
-				continue
-			}
-			dec := resizeFloats(&s.codec.updDec[i], len(s.global))
-			if err := compress.DecodeInto(dec, m.PParams.Scheme, m.PParams.Data); err != nil {
-				s.evict(i, round, fmt.Sprintf("packed update: %v", err))
-				updates[i] = nil
-				continue
-			}
-			ref := s.global
-			if s.codec.bcast[i] != compress.SchemeDense {
-				ref = s.codec.bcastRef[i]
-			}
-			for j := range dec {
-				dec[j] += ref[j]
-			}
-			m.Params = dec
-			if s.cfg.Ledger != nil && rec.UpScheme == "" {
-				rec.UpScheme = m.PParams.Scheme.String()
-			}
-		} else if s.cfg.Ledger != nil && rec.UpScheme == "" && len(m.Params) > 0 {
-			rec.UpScheme = compress.SchemeDense.String()
+		params, err := s.decodeUpdate(i, m)
+		if err != nil {
+			s.evict(i, round, err.Error())
+			updates[i] = nil
+			continue
 		}
+		if s.cfg.Ledger != nil && rec.UpScheme == "" {
+			if m.PParams.N > 0 {
+				rec.UpScheme = m.PParams.Scheme.String()
+			} else if len(params) > 0 {
+				rec.UpScheme = compress.SchemeDense.String()
+			}
+		}
+		m.Params = params
 		switch {
 		case len(m.Params) != len(s.global):
 			s.evict(i, round, fmt.Sprintf("sent %d params, want %d", len(m.Params), len(s.global)))
@@ -800,7 +894,13 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			valid++
 		}
 	}
-	if valid < s.minClients {
+	// Parked late updates (already validated at park time) count toward the
+	// quorum and fold into this aggregation with their staleness discount.
+	var folds []*BufferedUpdate
+	if s.cfg.Async {
+		folds = s.folds()
+	}
+	if valid+len(folds) < s.minClients {
 		return false
 	}
 	// Renormalize the aggregation weights over the survivors that actually
@@ -811,6 +911,9 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		if d {
 			wsum += s.samples[i]
 		}
+	}
+	for _, b := range folds {
+		wsum += s.samples[b.Client] * staleWeight(round-b.Round, s.cfg.StalenessLambda)
 	}
 	if wsum <= 0 {
 		s.lastFault = "empty effective cohort (wsum = 0)"
@@ -835,6 +938,26 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			rec.ClientNorm = append(rec.ClientNorm, math.Sqrt(d))
 		}
 	}
+	for _, b := range folds {
+		age := round - b.Round
+		wi := s.samples[b.Client] * staleWeight(age, s.cfg.StalenessLambda) / wsum
+		tensor.AxpyFloats(next, wi, b.Params)
+		loss += wi * b.Loss
+		// A folded client is idle again: it joins the second synchronization
+		// (rFedAvg+), refreshing the δ row its lateness let go stale.
+		delivered[b.Client] = true
+		s.metrics.lateFolds.Inc()
+		lf := s.cfg.Tracer.Start("late_fold", roundCtx)
+		lf.Round, lf.Client = round, b.Client
+		lf.End()
+		if s.cfg.Ledger != nil {
+			rec.LateID = append(rec.LateID, b.Client)
+			rec.LateAge = append(rec.LateAge, age)
+		}
+		s.logf("folded client %d's round-%d update into round %d (age %d, weight %.3f)",
+			b.Client, b.Round, round, age, staleWeight(age, s.cfg.StalenessLambda))
+	}
+	s.clearFolds(folds)
 	s.global = next
 	s.res.RoundLosses = append(s.res.RoundLosses, loss)
 	rec.Loss = loss
@@ -848,6 +971,9 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		td.Round = round
 		ctx2, cancel2 := s.phaseCtx()
 		s.broadcastActive(ctx2, round, roundCtx, func(i int) *Message {
+			if s.cfg.Async && s.busy[i] {
+				return nil
+			}
 			if !delivered[i] {
 				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 			}
@@ -895,6 +1021,22 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	// was silently ignored outside the plus branch.
 	s.table.Tick()
 	s.metrics.observeDeltaAges(s.table, s.cfg.MaxStaleness)
+	// Model-update staleness accounting: contributors (fresh and folded)
+	// reset to 0, then everyone ages one round — the update-track twin of
+	// the δ-row aging above, and the ages a checkpoint persists.
+	for i, d := range delivered {
+		if d {
+			s.updAges.Reset(i)
+		}
+	}
+	s.updAges.Tick()
+	s.metrics.observeUpdateAges(s.updAges)
+	if s.ctrl != nil {
+		// Retarget the deadline from this round's observed client latencies
+		// and push it into the live connections' Send/Recv bounds.
+		s.ctrl.update()
+		s.ctrl.retune(s.conns, s.active)
+	}
 	if s.cfg.Ledger != nil {
 		if plus {
 			rec.MMD = s.table.PairwiseMMDInto(rec.MMD)
@@ -938,6 +1080,9 @@ func (s *session) broadcastActive(ctx context.Context, round int, span telemetry
 		go func(i int, c Conn) {
 			defer wg.Done()
 			m := mk(i)
+			if m == nil {
+				return // async mode: nothing for an in-flight straggler
+			}
 			m.setSpanContext(span)
 			errs[i] = sendCtx(ctx, c, m)
 		}(i, c)
@@ -968,8 +1113,13 @@ func (s *session) gatherActive(ctx context.Context, round int, from []bool, want
 			defer wg.Done()
 			sp := s.cfg.Tracer.Start(spanName, parent)
 			sp.Round, sp.Client = round, i
+			start := time.Now()
 			msgs[i], errs[i] = gatherOne(ctx, c, want, round)
 			sp.End()
+			if s.ctrl != nil && want == MsgUpdate && errs[i] == nil {
+				// Per-slot EWMA write: no two goroutines share a slot.
+				s.ctrl.observe(i, time.Since(start))
+			}
 		}(i, c)
 	}
 	wg.Wait()
