@@ -1,15 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-race telemetry-smoke chaos-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
+.PHONY: all ci build vet test test-race telemetry-smoke chaos-smoke scale-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
 # The full CI gate, in dependency order: static checks and unit tests, the
 # race pass, the observability smoke (metrics scrape + trace/ledger
 # validation), the async straggler matrix under the race detector, the
-# decoder fuzz pass, the hot-path benchmark regression gate, and the
-# parallel-speedup smoke.
-ci: vet test test-race telemetry-smoke chaos-smoke fuzz-short bench-compare bench-smoke
+# 100k-client scale smoke, the decoder fuzz pass, the hot-path benchmark
+# regression gate, and the parallel-speedup smoke.
+ci: vet test test-race telemetry-smoke chaos-smoke scale-smoke fuzz-short bench-compare bench-smoke
 
 build:
 	go build ./...
@@ -47,6 +47,23 @@ telemetry-smoke:
 		-ledger $$tmp/ledger-q8.jsonl >/dev/null && \
 	grep -q '"up_scheme":"q8"' $$tmp/ledger-q8.jsonl && \
 	rm -rf $$tmp && echo "trace/ledger smoke passed"
+
+# Prove the 100k-client scale story end to end: a short cohort-subsampled
+# flsim session over 100k simulated clients must finish inside a wall-clock
+# budget with peak heap bounded well below anything O(N·d) would need —
+# steady-state memory tracks the sampled cohort, not the client count. The
+# run exercises the sharded aggregation path, the streaming δ table, and
+# the summary-mode ledger; the ledger line must carry the sampled MMD
+# block, never the N×N matrix.
+scale-smoke:
+	@tmp=$$(mktemp -d) && \
+	go run ./cmd/flsim -clients 100000 -sr 0.001 -rounds 3 \
+		-e 1 -b 10 -train 2000 -test 100 \
+		-heap-budget-mb 2048 -wall-budget 120s \
+		-ledger $$tmp/ledger.jsonl && \
+	grep -q '"mmd_sample":' $$tmp/ledger.jsonl && \
+	! grep -q '"client_id":' $$tmp/ledger.jsonl && \
+	rm -rf $$tmp && echo "scale smoke passed"
 
 # Prove the async robustness claim under the race detector: the seeded
 # straggler matrix (async per-round wall clock within ~1.2× fault-free

@@ -121,6 +121,10 @@ func main() {
 	// Dial-and-train with a rejoin loop: on a mid-session connection
 	// failure the client re-dials, sends a fresh join carrying its slot
 	// hint, and the server re-admits it at the next round boundary.
+	// Reconnect waits are jittered to ±half the base backoff, seeded by the
+	// shard index, so a mass disconnection in a large fleet doesn't re-dial
+	// the server as a thundering herd on the same tick.
+	jrng := rand.New(rand.NewSource(int64(*shard)*31 + 7))
 	for attempt := 0; ; attempt++ {
 		conn, err := transport.Dial(*addr)
 		if err == nil {
@@ -144,8 +148,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "flclient:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "flclient: %v — rejoining in %s (%d/%d)\n", err, *backoff, attempt+1, *retries)
-		time.Sleep(*backoff)
+		sleep := *backoff
+		if *backoff > 0 {
+			sleep = *backoff/2 + time.Duration(jrng.Int63n(int64(*backoff)))
+		}
+		fmt.Fprintf(os.Stderr, "flclient: %v — rejoining in %s (%d/%d)\n", err, sleep.Round(time.Millisecond), attempt+1, *retries)
+		time.Sleep(sleep)
 	}
 }
 

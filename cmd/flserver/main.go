@@ -76,6 +76,10 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint period in rounds")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 
+		ioWorkers = flag.Int("io-workers", 0, "goroutine budget for per-client send/recv phases (0 = 8×GOMAXPROCS capped at 256); bounds per-phase goroutines at large client counts")
+		streamN   = flag.Int("stream-n", 0, "client count at which the δ table switches to streaming mean maintenance (0 = default threshold, negative = never)")
+		detailN   = cliflags.LedgerDetail()
+
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
 		obs           = cliflags.Register(true, true, true)
 	)
@@ -178,9 +182,12 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Printf("[fault] "+format+"\n", args...)
 		},
-		Events: obs.Events,
-		Tracer: obs.Tracer,
-		Ledger: obs.Ledger,
+		Events:        obs.Events,
+		Tracer:        obs.Tracer,
+		Ledger:        obs.Ledger,
+		LedgerDetailN: *detailN,
+		IOWorkers:     *ioWorkers,
+		StreamN:       *streamN,
 	}
 	if *resume && *ckptPath != "" {
 		if ck, err := transport.LoadCheckpoint(*ckptPath); err == nil {

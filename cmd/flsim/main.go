@@ -26,8 +26,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/cliflags"
 	"repro/internal/core"
@@ -58,6 +60,9 @@ func main() {
 		testN      = flag.Int("test", 800, "test samples (image datasets)")
 		featureDim = flag.Int("featdim", 48, "feature-layer width d")
 		seed       = flag.Int64("seed", 1, "random seed")
+		heapBudget = flag.Int("heap-budget-mb", 0, "fail the run if peak heap use exceeds this many MiB (0 = unlimited); the scale-smoke guard that steady-state memory is O(cohort), not O(N)")
+		wallBudget = flag.Duration("wall-budget", 0, "fail the run if training exceeds this wall-clock budget (0 = unlimited)")
+		detailN    = cliflags.LedgerDetail()
 		async      = cliflags.AsyncFlags(false)
 		slow       = flag.String("slow", "", "comma-separated per-client latency multipliers for the async simulator, e.g. 1,1,8,1 (empty = uniform)")
 		compressV  = cliflags.Compress("dense")
@@ -88,19 +93,31 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed * 13))
-	var parts data.Partition
-	if *natural {
-		if train.Users == nil {
-			fmt.Fprintf(os.Stderr, "flsim: %s has no natural user partition\n", *dataset)
-			os.Exit(2)
+	var shards []*data.Dataset
+	if *clients > train.Len() {
+		// More simulated clients than training samples (the 100k-client
+		// scale regime): the similarity split would leave most shards
+		// empty, so cycle the samples — one per client, wrapping around.
+		// Cohort subsampling means only a sliver of them train per round.
+		shards = make([]*data.Dataset, *clients)
+		for k := range shards {
+			shards[k] = train.Subset([]int{k % train.Len()})
 		}
-		parts = data.PartitionByUser(train.Users, *clients, rng)
 	} else {
-		parts = data.PartitionBySimilarity(train.Y, *clients, *sim, rng)
-	}
-	shards := make([]*data.Dataset, len(parts))
-	for k, idx := range parts {
-		shards[k] = train.Subset(idx)
+		var parts data.Partition
+		if *natural {
+			if train.Users == nil {
+				fmt.Fprintf(os.Stderr, "flsim: %s has no natural user partition\n", *dataset)
+				os.Exit(2)
+			}
+			parts = data.PartitionByUser(train.Users, *clients, rng)
+		} else {
+			parts = data.PartitionBySimilarity(train.Y, *clients, *sim, rng)
+		}
+		shards = make([]*data.Dataset, len(parts))
+		for k, idx := range parts {
+			shards[k] = train.Subset(idx)
+		}
 	}
 
 	slowFactor, err := parseSlow(*slow, *clients)
@@ -126,6 +143,7 @@ func main() {
 		SlowFactor:      slowFactor,
 		Tracer:          obs.Tracer,
 		Ledger:          obs.Ledger,
+		LedgerDetailN:   *detailN,
 		Events:          obs.Events,
 	}
 	f := fl.NewFederation(cfg, shards, test)
@@ -151,7 +169,24 @@ func main() {
 
 	fmt.Printf("%s on %s: N=%d E=%d B=%d SR=%g rounds=%d (|w|=%d, d=%d)\n",
 		alg.Name(), *dataset, *clients, *e, *b, *sr, *rounds, f.NumParams(), f.FeatureDim())
+	watch := startHeapWatch()
+	start := time.Now()
 	h := fl.Run(f, alg, *rounds)
+	elapsed := time.Since(start)
+	peakMiB := watch.stop()
+	budgetFail := false
+	if *heapBudget > 0 || *wallBudget > 0 {
+		fmt.Printf("budget: peak heap %.1f MiB, wall %.2fs\n", peakMiB, elapsed.Seconds())
+	}
+	if *heapBudget > 0 && peakMiB > float64(*heapBudget) {
+		fmt.Fprintf(os.Stderr, "flsim: peak heap %.1f MiB exceeds the %d MiB budget\n", peakMiB, *heapBudget)
+		budgetFail = true
+	}
+	if *wallBudget > 0 && elapsed > *wallBudget {
+		fmt.Fprintf(os.Stderr, "flsim: run took %s, over the %s wall budget\n",
+			elapsed.Round(time.Millisecond), *wallBudget)
+		budgetFail = true
+	}
 	for _, r := range h.Rounds {
 		acc := "      -"
 		if !math.IsNaN(r.TestAcc) {
@@ -166,6 +201,46 @@ func main() {
 		fmt.Println("telemetry summary:")
 		telemetry.Default().WriteSummary(os.Stdout)
 	}
+	if budgetFail {
+		obs.Close()
+		os.Exit(1)
+	}
+}
+
+// heapWatch samples the live heap in the background so a budget check sees
+// the run's peak, not whatever the final GC left behind.
+type heapWatch struct {
+	done chan struct{}
+	peak chan float64
+}
+
+func startHeapWatch() *heapWatch {
+	w := &heapWatch{done: make(chan struct{}), peak: make(chan float64, 1)}
+	go func() {
+		var ms runtime.MemStats
+		max := 0.0
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if m := float64(ms.HeapAlloc) / (1 << 20); m > max {
+				max = m
+			}
+			select {
+			case <-w.done:
+				w.peak <- max
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+// stop ends the sampler and returns the observed peak heap in MiB.
+func (w *heapWatch) stop() float64 {
+	close(w.done)
+	return <-w.peak
 }
 
 func makeData(dataset string, trainN, testN, clients, featureDim int, seed int64) (

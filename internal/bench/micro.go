@@ -190,6 +190,28 @@ func Cases() []Case {
 				dst = tbl.PairwiseMMDInto(dst)
 			}
 		}},
+		{Name: "stream-mean/100kx64", Bench: func(b *testing.B) {
+			// The streaming δ̄^{-k} query on a 100k-slot table with one
+			// cohort's worth of occupied rows: O(d) per client regardless
+			// of N — the per-target cost that replaced the O(Nd) exact
+			// scan at scale.
+			r := rand.New(rand.NewSource(9))
+			tbl := core.NewDeltaTable(100_000, 64)
+			tbl.SetStreaming(true)
+			row := make([]float64, 64)
+			for j := 0; j < 128; j++ {
+				for i := range row {
+					row[i] = r.NormFloat64()
+				}
+				tbl.Set(r.Intn(100_000), row)
+			}
+			dst := make([]float64, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl.MeanExcludingInto(dst, i%100_000)
+			}
+		}},
 		codecCase("codec/q8-16k", compress.SchemeInt8, 16*1024),
 		codecCase("codec/q8-64k", compress.SchemeInt8, 64*1024),
 		codecCase("codec/q1-64k", compress.SchemeBit1, 64*1024),

@@ -97,6 +97,14 @@ func Summary() *bool {
 	return flag.Bool("telemetry", false, summaryHelp)
 }
 
+// LedgerDetail installs the shared -ledger-detail flag: the client-count
+// threshold above which ledger lines switch from per-client arrays and the
+// full N×N MMD block to summary statistics and a sampled sub-matrix.
+func LedgerDetail() *int {
+	return flag.Int("ledger-detail", 0,
+		"per-client ledger detail up to this many clients; above it lines carry summary stats and a sampled MMD block (0 = default threshold, negative = always full detail)")
+}
+
 // Compress installs the shared -compress flag with the given default
 // ("dense" for drivers that pick a codec, "all" for clients that advertise
 // acceptance). Resolve the parsed value with ParseCompress or

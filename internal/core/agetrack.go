@@ -12,7 +12,8 @@ package core
 // contributed this round ends the round at age 1 and a client that never
 // contributed reports the rounds since track creation.
 type AgeTrack struct {
-	ages []int
+	ages  []int
+	ticks int
 }
 
 // NewAgeTrack creates an all-zero track for n clients.
@@ -36,7 +37,16 @@ func (t *AgeTrack) Tick() {
 	for k := range t.ages {
 		t.ages[k]++
 	}
+	t.ticks++
 }
+
+// Ticks returns how many rounds the track has aged since creation (or the
+// restored counter) — the age every never-contributing client reports, and
+// the default a sparse checkpoint assigns to unlisted entries.
+func (t *AgeTrack) Ticks() int { return t.ticks }
+
+// SetTicks restores the round counter (checkpoint restore).
+func (t *AgeTrack) SetTicks(n int) { t.ticks = n }
 
 // ForEach calls fn with every client's current age, in slot order.
 func (t *AgeTrack) ForEach(fn func(k, age int)) {

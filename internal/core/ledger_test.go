@@ -27,7 +27,12 @@ type coreLedgerLine struct {
 	UpBytes   int64     `json:"up_bytes"`
 	UpScheme  string    `json:"up_scheme"`
 	ReconErr  *float64  `json:"recon_err"`
+	ClientID  []int     `json:"client_id"`
+	Cohort    int       `json:"cohort"`
+	LossStats []float64 `json:"loss_stats"`
+	NormStats []float64 `json:"norm_stats"`
 	MMDDim    int       `json:"mmd_dim"`
+	MMDSample []int     `json:"mmd_sample"`
 	MMD       []float64 `json:"mmd"`
 }
 
@@ -35,12 +40,16 @@ func decodeCoreLedger(t *testing.T, buf *bytes.Buffer) []coreLedgerLine {
 	t.Helper()
 	var lines []coreLedgerLine
 	sc := bufio.NewScanner(buf)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20) // detail-mode lines outgrow the default token cap
 	for sc.Scan() {
 		var l coreLedgerLine
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
 			t.Fatalf("ledger line %q: %v", sc.Text(), err)
 		}
 		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("ledger scan: %v", err)
 	}
 	return lines
 }
@@ -64,6 +73,10 @@ func ledgerFederation(t *testing.T, clients int, tracer *telemetry.Tracer, ledge
 		LR:         opt.ConstLR(0.1),
 		Tracer:     tracer,
 		Ledger:     ledger,
+		// Per-client detail up to N=16; the scaling runs above that record
+		// summary statistics and the sampled MMD sub-matrix, keeping every
+		// ledger line O(1) as the curves grow.
+		LedgerDetailN: 16,
 	}
 	return fl.NewFederation(cfg, shards, nil)
 }
@@ -148,8 +161,7 @@ func TestLedgerBytesScalingMatchesTableIII(t *testing.T) {
 		return lines[0].DownBytes, int64(clients) * fl.PayloadBytes(f.NumParams())
 	}
 
-	sizes := []int{4, 8, 16}
-	extra := func(mk func() fl.Algorithm) []float64 {
+	extra := func(sizes []int, mk func() fl.Algorithm) []float64 {
 		out := make([]float64, len(sizes))
 		for i, n := range sizes {
 			down, base := downFor(mk(), n)
@@ -161,21 +173,26 @@ func TestLedgerBytesScalingMatchesTableIII(t *testing.T) {
 		return out
 	}
 
-	quad := extra(func() fl.Algorithm { return NewRFedAvg(1e-3) })
-	lin := extra(func() fl.Algorithm { return NewRFedAvgPlus(1e-3) })
+	// The quadratic curve stops at N=16 (its accounting alone is the claim);
+	// the linear curve runs past the summary-ledger threshold territory to
+	// N=64, where a broken O(dN) story would compound visibly.
+	quadSizes := []int{4, 8, 16}
+	linSizes := []int{4, 8, 16, 32, 64}
+	quad := extra(quadSizes, func() fl.Algorithm { return NewRFedAvg(1e-3) })
+	lin := extra(linSizes, func() fl.Algorithm { return NewRFedAvgPlus(1e-3) })
 
-	for i := 1; i < len(sizes); i++ {
+	for i := 1; i < len(quadSizes); i++ {
 		r := quad[i] / quad[i-1]
 		if r < 3.5 || r > 4.1 {
 			t.Errorf("rFedAvg extra download ratio N=%d/N=%d is %.2f, want ~4 (O(dN²))",
-				sizes[i], sizes[i-1], r)
+				quadSizes[i], quadSizes[i-1], r)
 		}
 	}
-	for i := 1; i < len(sizes); i++ {
+	for i := 1; i < len(linSizes); i++ {
 		r := lin[i] / lin[i-1]
 		if r < 1.9 || r > 2.1 {
 			t.Errorf("rFedAvg+ extra download ratio N=%d/N=%d is %.2f, want ~2 (O(dN))",
-				sizes[i], sizes[i-1], r)
+				linSizes[i], linSizes[i-1], r)
 		}
 	}
 }
@@ -215,5 +232,49 @@ func TestLedgerBytesCompressedUplinkReduction(t *testing.T) {
 			t.Fatalf("line %d: downlink changed under an uplink-only codec: %d vs %d",
 				i, q8[i].DownBytes, dense[i].DownBytes)
 		}
+	}
+}
+
+// Above the detail threshold the ledger line must flip to summary form:
+// cohort count plus min/mean/max triples instead of per-client arrays, and
+// a K×K sampled MMD sub-matrix instead of the N×N block.
+func TestSimLedgerSummaryModeAboveDetailN(t *testing.T) {
+	const clients, rounds = 32, 2 // threshold in ledgerFederation is 16
+	var buf bytes.Buffer
+	f := ledgerFederation(t, clients, nil, telemetry.NewRunLedger(&buf))
+	fl.Run(f, NewRFedAvgPlus(1e-3), rounds)
+
+	lines := decodeCoreLedger(t, &buf)
+	if len(lines) != rounds {
+		t.Fatalf("got %d ledger lines, want %d", len(lines), rounds)
+	}
+	k := telemetry.LedgerMMDSampleK
+	for i, l := range lines {
+		if len(l.ClientID) != 0 {
+			t.Fatalf("line %d carries per-client detail above the threshold: %v", i, l.ClientID)
+		}
+		if l.Cohort != clients {
+			t.Fatalf("line %d cohort = %d, want %d", i, l.Cohort, clients)
+		}
+		if len(l.LossStats) != 3 || len(l.NormStats) != 3 {
+			t.Fatalf("line %d stats triples: loss %v norm %v", i, l.LossStats, l.NormStats)
+		}
+		if l.LossStats[0] > l.LossStats[1] || l.LossStats[1] > l.LossStats[2] {
+			t.Fatalf("line %d loss_stats not ordered min≤mean≤max: %v", i, l.LossStats)
+		}
+		if l.MMDDim != k || len(l.MMD) != k*k || len(l.MMDSample) != k {
+			t.Fatalf("line %d sampled MMD: dim=%d len=%d sample=%v", i, l.MMDDim, len(l.MMD), l.MMDSample)
+		}
+		if l.MMDSample[0] != 0 || l.MMDSample[k-1] != clients-1 {
+			t.Fatalf("line %d sample ids must span [0, N-1]: %v", i, l.MMDSample)
+		}
+	}
+	// A populated table's sampled sub-matrix still shows off-diagonal mass.
+	mass := 0.0
+	for _, v := range lines[rounds-1].MMD {
+		mass += v
+	}
+	if mass <= 0 {
+		t.Error("sampled MMD sub-matrix is all zero on a populated table")
 	}
 }

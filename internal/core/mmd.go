@@ -136,6 +136,12 @@ func RegFeatureGradInto(grad *tensor.Tensor, mean []float64, feat *tensor.Tensor
 // the δ-staleness fallback that lets fault-tolerant rounds keep training
 // with the last known map. Setting MaxStale bounds how long such a stale
 // row keeps influencing the regularization target.
+//
+// Row storage is lazy: a slot holds no float data until its client first
+// Sets a map, so a table sized for 100k potential clients costs memory
+// proportional to the clients that actually reported. Never-Set rows read
+// as the zero vector everywhere (initialization δ_0), exactly as the
+// eagerly-allocated table behaved.
 type DeltaTable struct {
 	N, Dim int
 	// MaxStale, when > 0, excludes rows with Age > MaxStale from
@@ -143,38 +149,165 @@ type DeltaTable struct {
 	// rounds stops pulling other clients toward it. 0 keeps rows forever
 	// (the paper's behavior under full participation).
 	MaxStale int
-	rows     [][]float64
+	rows     [][]float64 // nil until first Set; nil reads as the zero row
 	ages     []int
+	ticks    int // Tick calls since creation (the age of never-Set rows)
+	occ      int // rows with allocated (Set at least once) storage
+	zero     []float64
+
+	// Streaming mode (SetStreaming): sum holds Σ_j δ^j over the non-stale
+	// rows and fresh their count, maintained incrementally by Set/SetAge and
+	// rebuilt exactly at every Tick, so MeanExcludingInto is O(Dim) instead
+	// of O(N·Dim). Mutators are not safe for concurrent use (matching the
+	// non-streaming table); MeanExcludingInto stays read-only in both modes.
+	streaming bool
+	sum       []float64
+	fresh     int
 }
 
 // NewDeltaTable creates an all-zero table for n clients with d-dimensional
-// maps (the server's initialization of δ_0).
+// maps (the server's initialization of δ_0). Row storage is allocated on
+// first Set.
 func NewDeltaTable(n, d int) *DeltaTable {
-	t := &DeltaTable{N: n, Dim: d, rows: make([][]float64, n), ages: make([]int, n)}
-	for i := range t.rows {
-		t.rows[i] = make([]float64, d)
-	}
-	return t
+	return &DeltaTable{N: n, Dim: d, rows: make([][]float64, n), ages: make([]int, n),
+		zero: make([]float64, d)}
 }
 
-// Set replaces client k's map and resets its staleness age.
+// SetStreaming switches the table's incremental-aggregate mode on or off,
+// rebuilding the running mean state on enable. Streaming changes the
+// floating-point summation order of MeanExcluding (one shared running sum
+// instead of a fresh per-target pass), so it is opt-in: large-N servers
+// enable it, small-N runs keep the bitwise-stable exact path.
+func (t *DeltaTable) SetStreaming(on bool) {
+	t.streaming = on
+	if on {
+		t.rebuildStream()
+	}
+}
+
+// Streaming reports whether the incremental-aggregate mode is on.
+func (t *DeltaTable) Streaming() bool { return t.streaming }
+
+// rebuildStream recomputes sum and fresh exactly from the rows — called on
+// enable and at every Tick, which bounds the incremental path's FP drift to
+// one round of Sets.
+func (t *DeltaTable) rebuildStream() {
+	if cap(t.sum) < t.Dim {
+		t.sum = make([]float64, t.Dim)
+	}
+	t.sum = t.sum[:t.Dim]
+	for i := range t.sum {
+		t.sum[i] = 0
+	}
+	t.fresh = 0
+	for k, row := range t.rows {
+		if t.stale(k) {
+			continue
+		}
+		t.fresh++
+		if row != nil {
+			tensor.AddFloats(t.sum, row)
+		}
+	}
+}
+
+// Set replaces client k's map and resets its staleness age, allocating the
+// row's storage on first use.
 func (t *DeltaTable) Set(k int, delta []float64) {
 	if len(delta) != t.Dim {
 		panic(fmt.Sprintf("core: delta dim %d vs table dim %d", len(delta), t.Dim))
+	}
+	if t.streaming {
+		// Retire the row's previous contribution (zero for a nil row), then
+		// account the fresh one; Tick's exact rebuild bounds the drift.
+		if !t.stale(k) {
+			if t.rows[k] != nil {
+				tensor.AxpyFloats(t.sum, -1, t.rows[k])
+			}
+			t.fresh--
+		}
+		defer func() {
+			tensor.AddFloats(t.sum, t.rows[k])
+			t.fresh++
+		}()
+	}
+	if t.rows[k] == nil {
+		t.rows[k] = make([]float64, t.Dim)
+		t.occ++
 	}
 	copy(t.rows[k], delta)
 	t.ages[k] = 0
 }
 
-// Get returns client k's map (read-only view).
-func (t *DeltaTable) Get(k int) []float64 { return t.rows[k] }
+// Get returns client k's map (read-only view). Never-Set rows return a
+// shared zero vector; callers must not write through the result.
+func (t *DeltaTable) Get(k int) []float64 {
+	if r := t.rows[k]; r != nil {
+		return r
+	}
+	return t.zero
+}
+
+// row is Get for internal kernels (nil-safe read of slot k).
+func (t *DeltaTable) row(k int) []float64 {
+	if r := t.rows[k]; r != nil {
+		return r
+	}
+	return t.zero
+}
+
+// Occupied reports whether row k was ever Set (has allocated storage).
+func (t *DeltaTable) Occupied(k int) bool { return t.rows[k] != nil }
+
+// OccupiedCount returns how many rows were ever Set — the quantity the
+// table's memory footprint and a sparse checkpoint's size scale with.
+func (t *DeltaTable) OccupiedCount() int { return t.occ }
+
+// ForEachRow calls fn with every occupied row, in slot order. Never-Set
+// slots are skipped; fn must treat row as read-only.
+func (t *DeltaTable) ForEachRow(fn func(k int, row []float64)) {
+	for k, row := range t.rows {
+		if row != nil {
+			fn(k, row)
+		}
+	}
+}
 
 // Age returns how many rounds ago row k was last Set (0 = fresh this
 // round; rows never Set report the rounds since table creation).
 func (t *DeltaTable) Age(k int) int { return t.ages[k] }
 
-// SetAge restores row k's staleness age (checkpoint restore).
-func (t *DeltaTable) SetAge(k, age int) { t.ages[k] = age }
+// SetAge restores row k's staleness age (checkpoint restore). In streaming
+// mode the running aggregate is adjusted when the new age flips the row
+// across the MaxStale bound.
+func (t *DeltaTable) SetAge(k, age int) {
+	if t.streaming {
+		was := t.stale(k)
+		now := t.MaxStale > 0 && age > t.MaxStale
+		if was != now {
+			if now { // fresh → stale: retire the row's contribution
+				if t.rows[k] != nil {
+					tensor.AxpyFloats(t.sum, -1, t.rows[k])
+				}
+				t.fresh--
+			} else { // stale → fresh: re-admit it
+				if t.rows[k] != nil {
+					tensor.AddFloats(t.sum, t.rows[k])
+				}
+				t.fresh++
+			}
+		}
+	}
+	t.ages[k] = age
+}
+
+// Ticks returns how many rounds the table has aged since creation (or the
+// restored counter) — the default age a sparse checkpoint assigns to rows
+// that were never Set.
+func (t *DeltaTable) Ticks() int { return t.ticks }
+
+// SetTicks restores the round counter (checkpoint restore).
+func (t *DeltaTable) SetTicks(n int) { t.ticks = n }
 
 // ForEachAge calls fn with every row's current staleness age, in row order
 // — the observation hook behind the server's staleness-age histogram.
@@ -186,10 +319,17 @@ func (t *DeltaTable) ForEachAge(fn func(age int)) {
 
 // Tick advances every row's age by one round. Call once per completed
 // round, after the fresh maps were Set (Set zeroes the age, so freshly
-// refreshed rows end the round at age 1, missing rows keep growing).
+// refreshed rows end the round at age 1, missing rows keep growing). In
+// streaming mode the running aggregate is rebuilt exactly here — aging can
+// push rows past MaxStale, and the periodic exact pass bounds the
+// incremental updates' floating-point drift.
 func (t *DeltaTable) Tick() {
 	for k := range t.ages {
 		t.ages[k]++
+	}
+	t.ticks++
+	if t.streaming {
+		t.rebuildStream()
 	}
 }
 
@@ -213,15 +353,42 @@ func (t *DeltaTable) MeanExcluding(k int) []float64 {
 // the MaxStale bound are treated as missing: they contribute neither to
 // the sum nor to the denominator, so long-evicted clients stop steering
 // the survivors while their slot (and last map) is retained for rejoin.
+// Never-Set rows count as (zero-valued) contributors, matching the
+// all-zero initialization δ_0.
+//
+// In streaming mode the answer comes from the maintained running sum —
+// (Σ − δ^k)/(m−1) in O(Dim) — instead of an O(N·Dim) pass. Both paths are
+// read-only, so concurrent broadcasts may share the table.
 func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
 	if len(dst) != t.Dim {
 		panic(fmt.Sprintf("core: mean dst dim %d vs table dim %d", len(dst), t.Dim))
 	}
+	if t.N < 2 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	if t.streaming {
+		m := t.fresh
+		copy(dst, t.sum)
+		if !t.stale(k) {
+			m--
+			if t.rows[k] != nil {
+				tensor.AxpyFloats(dst, -1, t.rows[k])
+			}
+		}
+		if m <= 0 {
+			for i := range dst {
+				dst[i] = 0
+			}
+			return dst
+		}
+		tensor.ScaleFloats(dst, 1/float64(m))
+		return dst
+	}
 	for i := range dst {
 		dst[i] = 0
-	}
-	if t.N < 2 {
-		return dst
 	}
 	contributors := 0
 	for j, row := range t.rows {
@@ -229,7 +396,9 @@ func (t *DeltaTable) MeanExcludingInto(dst []float64, k int) []float64 {
 			continue
 		}
 		contributors++
-		tensor.AddFloats(dst, row)
+		if row != nil {
+			tensor.AddFloats(dst, row)
+		}
 	}
 	if contributors == 0 {
 		return dst
@@ -245,11 +414,12 @@ func (t *DeltaTable) PairwiseObjective(k int) float64 {
 		return 0
 	}
 	s := 0.0
-	for j, row := range t.rows {
+	rk := t.row(k)
+	for j := range t.rows {
 		if j == k {
 			continue
 		}
-		s += MMDSquaredMeans(t.rows[k], row)
+		s += MMDSquaredMeans(rk, t.row(j))
 	}
 	return s / float64(t.N-1)
 }
@@ -258,7 +428,7 @@ func (t *DeltaTable) PairwiseObjective(k int) float64 {
 // form; by convexity it lower-bounds PairwiseObjective and has the same
 // gradient with respect to δ^k.
 func (t *DeltaTable) TightObjective(k int) float64 {
-	return MMDSquaredMeans(t.rows[k], t.MeanExcluding(k))
+	return MMDSquaredMeans(t.row(k), t.MeanExcluding(k))
 }
 
 // pairwiseParMin is the minimum N·N·Dim volume before PairwiseMMDInto fans
@@ -299,9 +469,54 @@ func (t *DeltaTable) PairwiseMMDInto(dst []float64) []float64 {
 
 func (t *DeltaTable) pairwiseRow(dst []float64, i int) {
 	n := t.N
+	ri := t.row(i)
 	dst[i*n+i] = 0
 	for j := i + 1; j < n; j++ {
-		d := math.Sqrt(MMDSquaredMeans(t.rows[i], t.rows[j]))
+		d := math.Sqrt(MMDSquaredMeans(ri, t.row(j)))
 		dst[i*n+j], dst[j*n+i] = d, d
 	}
+}
+
+// SampleRows returns k evenly-spaced row indices (always including 0 and
+// N−1 when k ≥ 2) — the deterministic sub-sample SampledMMDInto uses when
+// the full N×N matrix would be too large to ledger.
+func (t *DeltaTable) SampleRows(k int) []int {
+	if k > t.N {
+		k = t.N
+	}
+	if k <= 0 {
+		return nil
+	}
+	ids := make([]int, k)
+	if k == 1 {
+		return ids
+	}
+	step := float64(t.N-1) / float64(k-1)
+	for i := range ids {
+		ids[i] = int(float64(i)*step + 0.5)
+	}
+	return ids
+}
+
+// SampledMMDInto fills dst (row-major K×K for K = len(ids), regrown only if
+// too small) with the pairwise MMD sub-matrix over the given row indices:
+// dst[a·K+b] = ‖δ^{ids[a]} - δ^{ids[b]}‖. It is the O(K²·d) stand-in for
+// PairwiseMMDInto when N is too large to materialize (or ledger) the full
+// N×N matrix. Like PairwiseMMDInto it ignores staleness and reads rows as
+// stored.
+func (t *DeltaTable) SampledMMDInto(dst []float64, ids []int) []float64 {
+	k := len(ids)
+	if cap(dst) < k*k {
+		dst = make([]float64, k*k)
+	}
+	dst = dst[:k*k]
+	for a := 0; a < k; a++ {
+		ra := t.row(ids[a])
+		dst[a*k+a] = 0
+		for b := a + 1; b < k; b++ {
+			d := math.Sqrt(MMDSquaredMeans(ra, t.row(ids[b])))
+			dst[a*k+b], dst[b*k+a] = d, d
+		}
+	}
+	return dst
 }

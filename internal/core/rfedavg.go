@@ -56,6 +56,12 @@ func (a *RFedAvg) Table() *DeltaTable { return a.table }
 // PairwiseMMDInto implements fl.MMDReporter over the server's δ table.
 func (a *RFedAvg) PairwiseMMDInto(dst []float64) []float64 { return a.table.PairwiseMMDInto(dst) }
 
+// SampledMMDInto implements fl.SampledMMDReporter over the server's δ
+// table: the K×K sub-matrix over ids instead of the full N×N block.
+func (a *RFedAvg) SampledMMDInto(dst []float64, ids []int) []float64 {
+	return a.table.SampledMMDInto(dst, ids)
+}
+
 // Round runs one rFedAvg communication round (lines 3–13 of Algorithm 1).
 func (a *RFedAvg) Round(round int, sampled []int) fl.RoundResult {
 	f := a.f

@@ -33,13 +33,22 @@ type RFedAvgPlus struct {
 	// MaxStale rounds has its row excluded from the δ̄^{-k} targets until
 	// it is refreshed. 0 keeps every row forever (Algorithm 2 verbatim).
 	MaxStale int
+	// StreamN switches the δ table to its streaming (running-sum) mode when
+	// the federation has at least StreamN clients, making each δ̄^{-k} an
+	// O(d) read instead of an O(N·d) pass. 0 means the default threshold
+	// (1024); negative disables streaming regardless of N.
+	StreamN int
 
 	f      *fl.Federation
 	global []float64
 	table  *DeltaTable
-	// avgMinus[k] caches δ̄^{-k} for the next round's broadcast.
-	avgMinus [][]float64
 }
+
+// DefaultStreamN is the client count at which rFedAvg+ servers (sim and
+// transport) switch the δ table to streaming mode when their StreamN knob
+// is left 0. Below it the exact per-target pass is cheap and keeps
+// bitwise-stable summation order.
+const DefaultStreamN = 1024
 
 // NewRFedAvgPlus creates Algorithm 2 with regularization weight λ.
 func NewRFedAvgPlus(lambda float64) *RFedAvgPlus { return &RFedAvgPlus{Lambda: lambda} }
@@ -47,16 +56,19 @@ func NewRFedAvgPlus(lambda float64) *RFedAvgPlus { return &RFedAvgPlus{Lambda: l
 // Name returns "rFedAvg+".
 func (a *RFedAvgPlus) Name() string { return "rFedAvg+" }
 
-// Setup initializes the global model, the zero table, and zero targets.
+// Setup initializes the global model and the zero table.
 func (a *RFedAvgPlus) Setup(f *fl.Federation) {
 	a.f = f
 	a.global = f.InitialParams()
 	n, d := len(f.Clients), f.FeatureDim()
 	a.table = NewDeltaTable(n, d)
 	a.table.MaxStale = a.MaxStale
-	a.avgMinus = make([][]float64, n)
-	for k := range a.avgMinus {
-		a.avgMinus[k] = make([]float64, d)
+	streamN := a.StreamN
+	if streamN == 0 {
+		streamN = DefaultStreamN
+	}
+	if streamN > 0 && n >= streamN {
+		a.table.SetStreaming(true)
 	}
 }
 
@@ -71,6 +83,12 @@ func (a *RFedAvgPlus) PairwiseMMDInto(dst []float64) []float64 {
 	return a.table.PairwiseMMDInto(dst)
 }
 
+// SampledMMDInto implements fl.SampledMMDReporter over the server's δ
+// table: the K×K sub-matrix over ids instead of the full N×N block.
+func (a *RFedAvgPlus) SampledMMDInto(dst []float64, ids []int) []float64 {
+	return a.table.SampledMMDInto(dst, ids)
+}
+
 // Round runs one rFedAvg+ communication round (lines 4–18 of Algorithm 2).
 func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	f := a.f
@@ -79,7 +97,12 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	// First communication: w_cE and δ̄^{-k} down; local training; w back up.
 	outs := f.MapClients(round, sampled, func(w *fl.Worker, c *fl.Client, rng *rand.Rand) fl.ClientOut {
 		w.LoadModel(global)
-		target := a.avgMinus[c.ID] // received precomputed: O(d) per step, not O(N·d)
+		// The wire ships only δ̄^{-k} (lines 17–18 of Algorithm 2): O(d) per
+		// sampled client, not the O(N·d) table. The simulation computes it
+		// here on demand — the table is unmutated since last round's Tick, so
+		// this reads the same state the old end-of-round precompute saw, and
+		// only for the sampled cohort instead of all N clients.
+		target := a.table.MeanExcludingInto(w.Arena().Tensor("reg.target", f.FeatureDim()).Data, c.ID)
 		o := f.DefaultLocalOpts(round)
 		o.FeatGrad = func(feat *tensor.Tensor) *tensor.Tensor {
 			return RegFeatureGradInto(
@@ -123,12 +146,9 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 		a.table.Set(out.Client.ID, out.Aux)
 	}
 	// Staleness accounting: unsampled clients' rows age; refreshed rows
-	// reset to age 1. Past MaxStale a row falls out of the targets below.
+	// reset to age 1. Past MaxStale a row falls out of the next round's
+	// on-demand δ̄^{-k} targets.
 	a.table.Tick()
-	// Lines 17–18: the server precomputes next round's per-client averages.
-	for k := range a.avgMinus {
-		a.table.MeanExcludingInto(a.avgMinus[k], k)
-	}
 
 	p, p2 := int64(len(sampled)), int64(len(fresh))
 	d := f.FeatureDim()

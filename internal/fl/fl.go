@@ -87,6 +87,11 @@ type Config struct {
 	// (loss, per-client losses/update norms, the pairwise MMD matrix when
 	// the algorithm maintains a δ table, and the accounted wire bytes).
 	Ledger *telemetry.RunLedger
+	// LedgerDetailN caps per-client ledger detail: federations with more
+	// clients record summary statistics and a sampled MMD sub-matrix
+	// instead of O(N) arrays and the O(N²) MMD block. 0 means
+	// telemetry.DefaultLedgerDetailN; negative means always full detail.
+	LedgerDetailN int
 	// Events, when non-nil, receives one JSONL line per lifecycle event.
 	Events *telemetry.EventLog
 }
@@ -600,6 +605,13 @@ type MMDReporter interface {
 	PairwiseMMDInto(dst []float64) []float64
 }
 
+// SampledMMDReporter is the large-N refinement of MMDReporter: the K×K MMD
+// sub-matrix over the given δ rows, so a ledger line never materializes the
+// N×N block. Both δ-table algorithms implement it.
+type SampledMMDReporter interface {
+	SampledMMDInto(dst []float64, ids []int) []float64
+}
+
 // PayloadBytes is the wire size of a message carrying n float64 values
 // under the transport codec (8 bytes per value plus framing). Table III and
 // Fig. 10's communication numbers are computed with this.
@@ -788,23 +800,73 @@ func (f *Federation) recordLedger(alg Algorithm, round int, sampled []int, res R
 		rec.UpScheme = res.UpScheme
 		rec.ReconErr = res.ReconErr
 	}
-	for _, ci := range sampled {
-		id := f.Clients[ci].ID
-		loss, ok := res.ClientLosses[id]
-		if !ok {
-			continue
+	if f.ledgerDetail() {
+		for _, ci := range sampled {
+			id := f.Clients[ci].ID
+			loss, ok := res.ClientLosses[id]
+			if !ok {
+				continue
+			}
+			rec.ClientID = append(rec.ClientID, id)
+			rec.ClientLoss = append(rec.ClientLoss, loss)
+			if res.ClientNorms != nil {
+				rec.ClientNorm = append(rec.ClientNorm, res.ClientNorms[id])
+			}
 		}
-		rec.ClientID = append(rec.ClientID, id)
-		rec.ClientLoss = append(rec.ClientLoss, loss)
-		if res.ClientNorms != nil {
-			rec.ClientNorm = append(rec.ClientNorm, res.ClientNorms[id])
+		if mr, ok := alg.(MMDReporter); ok {
+			rec.MMD = mr.PairwiseMMDInto(rec.MMD)
+			rec.MMDDim = len(f.Clients)
 		}
-	}
-	if mr, ok := alg.(MMDReporter); ok {
-		rec.MMD = mr.PairwiseMMDInto(rec.MMD)
-		rec.MMDDim = len(f.Clients)
+	} else {
+		for _, ci := range sampled {
+			id := f.Clients[ci].ID
+			loss, ok := res.ClientLosses[id]
+			if !ok {
+				continue
+			}
+			rec.Cohort++
+			rec.LossStats.Add(loss)
+			if res.ClientNorms != nil {
+				rec.NormStats.Add(res.ClientNorms[id])
+			}
+		}
+		if mr, ok := alg.(SampledMMDReporter); ok {
+			rec.MMDSample = ledgerSampleRows(rec.MMDSample, len(f.Clients), telemetry.LedgerMMDSampleK)
+			rec.MMD = mr.SampledMMDInto(rec.MMD, rec.MMDSample)
+			rec.MMDDim = len(rec.MMDSample)
+		}
 	}
 	f.Cfg.Ledger.Record(rec)
+}
+
+// ledgerDetail reports whether this federation records per-client ledger
+// arrays (small N) or summary statistics (above the detail threshold).
+func (f *Federation) ledgerDetail() bool {
+	n := f.Cfg.LedgerDetailN
+	if n == 0 {
+		n = telemetry.DefaultLedgerDetailN
+	}
+	return n < 0 || len(f.Clients) <= n
+}
+
+// ledgerSampleRows fills ids with k evenly-spaced client indices spanning
+// [0, n-1] — the sim-side twin of core.DeltaTable.SampleRows.
+func ledgerSampleRows(ids []int, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	ids = ids[:0]
+	if k <= 0 {
+		return ids
+	}
+	if k == 1 {
+		return append(ids, 0)
+	}
+	step := float64(n-1) / float64(k-1)
+	for i := 0; i < k; i++ {
+		ids = append(ids, int(float64(i)*step+0.5))
+	}
+	return ids
 }
 
 // String renders a client for diagnostics.

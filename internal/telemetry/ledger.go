@@ -26,6 +26,44 @@ type RunLedger struct {
 // NewRunLedger wraps w (typically an *os.File).
 func NewRunLedger(w io.Writer) *RunLedger { return &RunLedger{w: w} }
 
+// DefaultLedgerDetailN is the client-count threshold above which servers
+// switch the ledger from per-client detail (O(N) arrays, O(N²) MMD block
+// per line) to summary statistics and a sampled MMD sub-matrix, unless
+// overridden by their LedgerDetailN knob.
+const DefaultLedgerDetailN = 256
+
+// LedgerMMDSampleK is the sub-matrix edge recorded in summary mode: K
+// evenly-spaced δ rows whose K×K pairwise MMD stands in for the full N×N
+// block.
+const LedgerMMDSampleK = 8
+
+// StatTriple accumulates min/mean/max over a stream of values — the
+// summary the ledger records instead of a per-client array at large N.
+type StatTriple struct {
+	Min, Max, sum float64
+	N             int
+}
+
+// Add folds one value into the triple.
+func (s *StatTriple) Add(v float64) {
+	if s.N == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.N == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.sum += v
+	s.N++
+}
+
+// Mean returns the accumulated mean (NaN when empty).
+func (s *StatTriple) Mean() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.sum / float64(s.N)
+}
+
 // RoundRecord is one ledger line. Zero-length slices are omitted from the
 // output; NaN and ±Inf values become JSON null.
 type RoundRecord struct {
@@ -52,8 +90,20 @@ type RoundRecord struct {
 	ClientNorm []float64 // per sampled client ‖update − global‖₂
 	ClientID   []int     // which clients the loss/norm entries belong to
 
+	// Summary-mode fields (sessions above the LedgerDetailN threshold):
+	// the cohort size that aggregated, min/mean/max over the cohort's
+	// losses and update norms, and min/mean/max over all δ-row ages —
+	// O(1) per line where the arrays above would be O(N).
+	Cohort    int
+	LossStats StatTriple
+	NormStats StatTriple
+	AgeStats  StatTriple
+
 	MMD    []float64 // row-major MMDDim×MMDDim pairwise feature-map distances
 	MMDDim int
+	// MMDSample lists the δ rows behind a summary-mode MMD block: MMD is
+	// then the K×K sub-matrix over these rows, not the full N×N matrix.
+	MMDSample []int
 
 	DeltaAges []int // per-client δ-table row age (rounds since refresh)
 	StaleRows int
@@ -81,8 +131,13 @@ func (r *RoundRecord) Reset() {
 	r.ClientLoss = r.ClientLoss[:0]
 	r.ClientNorm = r.ClientNorm[:0]
 	r.ClientID = r.ClientID[:0]
+	r.Cohort = 0
+	r.LossStats = StatTriple{}
+	r.NormStats = StatTriple{}
+	r.AgeStats = StatTriple{}
 	r.MMD = r.MMD[:0]
 	r.MMDDim = 0
+	r.MMDSample = r.MMDSample[:0]
 	r.DeltaAges = r.DeltaAges[:0]
 	r.StaleRows = 0
 	r.Evicted = r.Evicted[:0]
@@ -136,9 +191,28 @@ func (l *RunLedger) Record(r *RoundRecord) {
 		b = append(b, `,"client_norm":`...)
 		b = appendJSONFloats(b, r.ClientNorm)
 	}
+	if r.Cohort > 0 {
+		b = append(b, `,"cohort":`...)
+		b = strconv.AppendInt(b, int64(r.Cohort), 10)
+	}
+	if r.LossStats.N > 0 {
+		b = appendStatTriple(b, `,"loss_stats":`, &r.LossStats)
+	}
+	if r.NormStats.N > 0 {
+		b = appendStatTriple(b, `,"norm_stats":`, &r.NormStats)
+	}
+	if r.AgeStats.N > 0 {
+		b = appendStatTriple(b, `,"age_stats":`, &r.AgeStats)
+		b = append(b, `,"stale_rows":`...)
+		b = strconv.AppendInt(b, int64(r.StaleRows), 10)
+	}
 	if len(r.MMD) > 0 {
 		b = append(b, `,"mmd_dim":`...)
 		b = strconv.AppendInt(b, int64(r.MMDDim), 10)
+		if len(r.MMDSample) > 0 {
+			b = append(b, `,"mmd_sample":`...)
+			b = appendJSONInts(b, r.MMDSample)
+		}
 		b = append(b, `,"mmd":`...)
 		b = appendJSONFloats(b, r.MMD)
 	}
@@ -169,4 +243,17 @@ func (l *RunLedger) Record(r *RoundRecord) {
 	b = append(b, '}', '\n')
 	l.buf = b
 	l.w.Write(b)
+}
+
+// appendStatTriple appends `<key>[min,mean,max]` to b.
+func appendStatTriple(b []byte, key string, s *StatTriple) []byte {
+	b = append(b, key...)
+	b = append(b, '[')
+	b = appendJSONFloat(b, s.Min)
+	b = append(b, ',')
+	b = appendJSONFloat(b, s.Mean())
+	b = append(b, ',')
+	b = appendJSONFloat(b, s.Max)
+	b = append(b, ']')
+	return b
 }

@@ -161,11 +161,19 @@ func Summary(w io.Writer, ledger []LedgerLine) error {
 		}
 		mmd := "-"
 		if m := l.MeanMMD(); !math.IsNaN(m) {
-			mmd = fmt.Sprintf("%.4f", m)
+			if len(l.MMDSample) > 0 {
+				mmd = fmt.Sprintf("~%.4f", m) // sampled sub-matrix estimate
+			} else {
+				mmd = fmt.Sprintf("%.4f", m)
+			}
+		}
+		clients := len(l.ClientID)
+		if clients == 0 {
+			clients = l.Cohort // summary-mode lines carry a count, not IDs
 		}
 		fmt.Fprintf(tw, "%d\t%d\t%v\t%s\t%s\t%s\t%s\t%d\t%s\t%d\t%d\t%d\n",
 			l.Round, l.Attempt, l.OK, loss, fmtDur(l.DurNS),
-			fmtBytes(l.UpBytes), fmtBytes(l.DownBytes), len(l.ClientID),
+			fmtBytes(l.UpBytes), fmtBytes(l.DownBytes), clients,
 			mmd, l.StaleRows, len(l.Evicted), l.Rejoins)
 	}
 	if err := tw.Flush(); err != nil {

@@ -46,8 +46,16 @@ type LedgerLine struct {
 	ClientID   []int     `json:"client_id"`
 	ClientLoss []float64 `json:"client_loss"`
 	ClientNorm []float64 `json:"client_norm"`
-	MMDDim     int       `json:"mmd_dim"`
-	MMD        []float64 `json:"mmd"`
+	// Summary-mode fields (runs above the ledger's detail threshold):
+	// cohort size plus [min, mean, max] triples instead of per-client
+	// arrays, and the δ rows behind a sampled MMD sub-matrix.
+	Cohort    int       `json:"cohort"`
+	LossStats []float64 `json:"loss_stats"`
+	NormStats []float64 `json:"norm_stats"`
+	AgeStats  []float64 `json:"age_stats"`
+	MMDSample []int     `json:"mmd_sample"`
+	MMDDim    int       `json:"mmd_dim"`
+	MMD       []float64 `json:"mmd"`
 	DeltaAges  []int     `json:"delta_ages"`
 	StaleRows  int       `json:"stale_rows"`
 	Evicted    []int     `json:"evicted"`

@@ -227,3 +227,26 @@ func TestSummaryEmpty(t *testing.T) {
 		t.Error("expected error for an empty ledger")
 	}
 }
+
+func TestSummaryRendersSummaryModeLines(t *testing.T) {
+	loss := func(v float64) *float64 { return &v }
+	// A summary-mode line: cohort count and stat triples instead of
+	// per-client arrays, MMD as a sampled 2×2 sub-matrix.
+	ledger := []LedgerLine{
+		{Algo: "rFedAvg+", Round: 0, Attempt: 1, OK: true, Loss: loss(1.5),
+			UpBytes: 1 << 20, DownBytes: 2 << 20,
+			Cohort: 128, LossStats: []float64{1.1, 1.5, 2.2},
+			MMDSample: []int{0, 99_999}, MMDDim: 2, MMD: []float64{0, 4, 4, 0}},
+	}
+	var out bytes.Buffer
+	if err := Summary(&out, ledger); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "128") {
+		t.Errorf("summary-mode cohort count missing:\n%s", s)
+	}
+	if !strings.Contains(s, "~4.0000") {
+		t.Errorf("sampled MMD estimate not marked with ~:\n%s", s)
+	}
+}

@@ -165,7 +165,8 @@ func (s *session) decodeUpdate(i int, m *Message) ([]float64, error) {
 	if int(m.PParams.N) != len(s.global) {
 		return nil, fmt.Errorf("sent packed update of %d params, want %d", m.PParams.N, len(s.global))
 	}
-	dec := resizeFloats(&s.codec.updDec[i], len(s.global))
+	sl := s.codec.slot(i)
+	dec := resizeFloats(&sl.updDec, len(s.global))
 	if err := compress.DecodeInto(dec, m.PParams.Scheme, m.PParams.Data); err != nil {
 		return nil, fmt.Errorf("packed update: %v", err)
 	}
@@ -174,8 +175,8 @@ func (s *session) decodeUpdate(i int, m *Message) ([]float64, error) {
 	// copy of the then-current global kept in bcastRef (the live global may
 	// have advanced past it before a straggler's update lands).
 	ref := s.global
-	if s.codec.bcast[i] != compress.SchemeDense || (s.cfg.Async && len(s.codec.bcastRef[i]) == len(s.global)) {
-		ref = s.codec.bcastRef[i]
+	if sl.bcast != compress.SchemeDense || (s.cfg.Async && len(sl.bcastRef) == len(s.global)) {
+		ref = sl.bcastRef
 	}
 	for j := range dec {
 		dec[j] += ref[j]
@@ -297,6 +298,7 @@ func (s *session) restoreAsync(ck *Checkpoint) error {
 		for k, age := range ck.UpdateAges {
 			s.updAges.SetAge(k, age)
 		}
+		s.updAges.SetTicks(ck.UpdateTicks)
 	}
 	s.metrics.buffered.Set(float64(s.bufferedCount()))
 	return nil

@@ -21,15 +21,25 @@ type Checkpoint struct {
 	Round int
 	// Global is the aggregated model at the end of round Round-1.
 	Global []float64
-	// DeltaRows is the δ table (nil for plain FedAvg sessions).
+	// DeltaRows is the δ table (nil for plain FedAvg sessions). Slots whose
+	// client never reported a map hold a nil row; the version-3 encoding
+	// writes only the non-nil rows, so checkpoint bytes scale with the
+	// occupied slots, not the slot count.
 	DeltaRows [][]float64
-	// DeltaAges[k] is how many rounds ago row k was last refreshed.
+	// DeltaAges[k] is how many rounds ago row k was last refreshed (dense in
+	// memory; on disk v3 stores the ticks default plus exceptions).
 	DeltaAges []int
+	// DeltaTicks is the δ table's round counter — the age every never-Set
+	// row reports, and the default age the sparse encoding assumes
+	// (version ≥ 3; 0 when restored from an older file).
+	DeltaTicks int
 	// RoundLosses is the loss history of the completed rounds.
 	RoundLosses []float64
 	// UpdateAges[k] is how many rounds ago slot k's model update was last
 	// aggregated (version ≥ 2; nil when restored from a v1 file).
 	UpdateAges []int
+	// UpdateTicks is the update-age track's round counter (version ≥ 3).
+	UpdateTicks int
 	// Buffered holds the async mode's parked-but-unaggregated late updates,
 	// so a resumed session folds exactly what the killed one would have
 	// (version ≥ 2).
@@ -38,7 +48,7 @@ type Checkpoint struct {
 
 const (
 	ckptMagic   = 0x52464350 // "RFCP"
-	ckptVersion = 2
+	ckptVersion = 3
 	// ckptMaxCount bounds every length field read from disk so a corrupt
 	// header cannot force a huge allocation.
 	ckptMaxCount = 1 << 24
@@ -60,45 +70,76 @@ func (ck *Checkpoint) Write(w io.Writer) error {
 		return err
 	}
 	if len(ck.DeltaRows) > 0 {
-		var dim [4]byte
-		binary.LittleEndian.PutUint32(dim[:], uint32(len(ck.DeltaRows[0])))
-		if _, err := w.Write(dim[:]); err != nil {
+		// Version-3 sparse δ section: dim, the ticks default age, then one
+		// (slot, row, age) entry per occupied row — never-Set slots cost
+		// nothing — then (slot, age) exceptions for unoccupied slots whose
+		// age differs from the ticks default.
+		dim, occ := 0, 0
+		for _, row := range ck.DeltaRows {
+			if row == nil {
+				continue
+			}
+			if dim == 0 {
+				dim = len(row)
+			}
+			occ++
+		}
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], uint32(dim))
+		if _, err := w.Write(u32[:]); err != nil {
 			return fmt.Errorf("transport: checkpoint δ dim: %w", err)
 		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(ck.DeltaTicks))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint δ ticks: %w", err)
+		}
+		binary.LittleEndian.PutUint32(u32[:], uint32(occ))
+		if _, err := w.Write(u32[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint δ occupancy: %w", err)
+		}
 		for k, row := range ck.DeltaRows {
-			if len(row) != len(ck.DeltaRows[0]) {
-				return fmt.Errorf("transport: checkpoint δ row %d has %d dims, want %d", k, len(row), len(ck.DeltaRows[0]))
+			if row == nil {
+				continue
+			}
+			if len(row) != dim {
+				return fmt.Errorf("transport: checkpoint δ row %d has %d dims, want %d", k, len(row), dim)
+			}
+			var ent [8]byte
+			binary.LittleEndian.PutUint32(ent[0:], uint32(k))
+			age := 0
+			if k < len(ck.DeltaAges) {
+				age = ck.DeltaAges[k]
+			}
+			binary.LittleEndian.PutUint32(ent[4:], uint32(age))
+			if _, err := w.Write(ent[:]); err != nil {
+				return fmt.Errorf("transport: checkpoint δ entry: %w", err)
 			}
 			if err := tensor.EncodeFloats(w, row); err != nil {
 				return err
 			}
 		}
-		ages := make([]byte, 4*len(ck.DeltaRows))
-		for k := range ck.DeltaRows {
-			age := 0
-			if k < len(ck.DeltaAges) {
-				age = ck.DeltaAges[k]
-			}
-			binary.LittleEndian.PutUint32(ages[4*k:], uint32(age))
-		}
-		if _, err := w.Write(ages); err != nil {
-			return fmt.Errorf("transport: checkpoint δ ages: %w", err)
+		if err := writeAgeExceptions(w, ck.DeltaRows, ck.DeltaAges, ck.DeltaTicks); err != nil {
+			return err
 		}
 	}
 	if err := tensor.EncodeFloats(w, ck.RoundLosses); err != nil {
 		return err
 	}
-	// Version 2 sections: per-slot model-update ages, then the async
-	// buffered updates (count, then client/round/loss/params each).
+	// Update-age section (since v2, sparse since v3): slot count, the ticks
+	// default, then (slot, age) exceptions — a steady-state session where
+	// most slots never delivered writes a handful of pairs, not N ages.
 	var u32 [4]byte
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(ck.UpdateAges)))
 	if _, err := w.Write(u32[:]); err != nil {
 		return fmt.Errorf("transport: checkpoint update-age count: %w", err)
 	}
-	for _, age := range ck.UpdateAges {
-		binary.LittleEndian.PutUint32(u32[:], uint32(age))
+	if len(ck.UpdateAges) > 0 {
+		binary.LittleEndian.PutUint32(u32[:], uint32(ck.UpdateTicks))
 		if _, err := w.Write(u32[:]); err != nil {
-			return fmt.Errorf("transport: checkpoint update age: %w", err)
+			return fmt.Errorf("transport: checkpoint update-age ticks: %w", err)
+		}
+		if err := writeAgeExceptions(w, nil, ck.UpdateAges, ck.UpdateTicks); err != nil {
+			return err
 		}
 	}
 	binary.LittleEndian.PutUint32(u32[:], uint32(len(ck.Buffered)))
@@ -120,6 +161,60 @@ func (ck *Checkpoint) Write(w io.Writer) error {
 		if err := tensor.EncodeFloats(w, b.Params); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeAgeExceptions writes the sparse age block: a count, then a (slot,
+// age) pair for every slot whose age differs from the ticks default. When
+// rows is non-nil, slots with a non-nil row are skipped — their age already
+// rode along with their row entry.
+func writeAgeExceptions(w io.Writer, rows [][]float64, ages []int, ticks int) error {
+	nExc := 0
+	for k, age := range ages {
+		if age != ticks && (rows == nil || rows[k] == nil) {
+			nExc++
+		}
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(nExc))
+	if _, err := w.Write(u32[:]); err != nil {
+		return fmt.Errorf("transport: checkpoint age-exception count: %w", err)
+	}
+	for k, age := range ages {
+		if age == ticks || (rows != nil && rows[k] != nil) {
+			continue
+		}
+		var pair [8]byte
+		binary.LittleEndian.PutUint32(pair[0:], uint32(k))
+		binary.LittleEndian.PutUint32(pair[4:], uint32(age))
+		if _, err := w.Write(pair[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint age exception: %w", err)
+		}
+	}
+	return nil
+}
+
+// readAgeExceptions reads the sparse age block into ages (already filled
+// with the ticks default).
+func readAgeExceptions(r io.Reader, ages []int, what string) error {
+	nExc, err := readCount(r, what+" count")
+	if err != nil {
+		return err
+	}
+	if nExc > len(ages) {
+		return fmt.Errorf("transport: implausible checkpoint %s count %d for %d slots", what, nExc, len(ages))
+	}
+	for j := 0; j < nExc; j++ {
+		var pair [8]byte
+		if _, err := io.ReadFull(r, pair[:]); err != nil {
+			return fmt.Errorf("transport: checkpoint %s: %w", what, err)
+		}
+		k := int(binary.LittleEndian.Uint32(pair[0:]))
+		if k < 0 || k >= len(ages) {
+			return fmt.Errorf("transport: checkpoint %s slot %d outside [0, %d)", what, k, len(ages))
+		}
+		ages[k] = int(binary.LittleEndian.Uint32(pair[4:]))
 	}
 	return nil
 }
@@ -149,7 +244,53 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if ck.Global, err = tensor.DecodeFloats(r, np); err != nil {
 		return nil, err
 	}
-	if rows > 0 {
+	if rows > 0 && version >= 3 {
+		// Sparse δ section: dim, ticks default, occupied (slot, age, row)
+		// entries, then (slot, age) exceptions for unoccupied slots.
+		var dimBuf [4]byte
+		if _, err := io.ReadFull(r, dimBuf[:]); err != nil {
+			return nil, fmt.Errorf("transport: checkpoint δ dim: %w", err)
+		}
+		dim := int(binary.LittleEndian.Uint32(dimBuf[:]))
+		if dim < 0 || dim > ckptMaxCount {
+			return nil, fmt.Errorf("transport: implausible checkpoint δ dim %d", dim)
+		}
+		ticks, err := readCount(r, "δ ticks")
+		if err != nil {
+			return nil, err
+		}
+		occ, err := readCount(r, "δ occupancy")
+		if err != nil {
+			return nil, err
+		}
+		if occ > rows {
+			return nil, fmt.Errorf("transport: checkpoint claims %d occupied δ rows of %d", occ, rows)
+		}
+		ck.DeltaTicks = ticks
+		ck.DeltaRows = make([][]float64, rows)
+		ck.DeltaAges = make([]int, rows)
+		for k := range ck.DeltaAges {
+			ck.DeltaAges[k] = ticks
+		}
+		for j := 0; j < occ; j++ {
+			var ent [8]byte
+			if _, err := io.ReadFull(r, ent[:]); err != nil {
+				return nil, fmt.Errorf("transport: checkpoint δ entry: %w", err)
+			}
+			k := int(binary.LittleEndian.Uint32(ent[0:]))
+			if k < 0 || k >= rows {
+				return nil, fmt.Errorf("transport: checkpoint δ entry slot %d outside [0, %d)", k, rows)
+			}
+			ck.DeltaAges[k] = int(binary.LittleEndian.Uint32(ent[4:]))
+			if ck.DeltaRows[k], err = tensor.DecodeFloats(r, dim); err != nil {
+				return nil, err
+			}
+		}
+		if err := readAgeExceptions(r, ck.DeltaAges, "δ age exception"); err != nil {
+			return nil, err
+		}
+	} else if rows > 0 {
+		// Dense v1/v2 δ section: every slot carries a row and a 4-byte age.
 		var dimBuf [4]byte
 		if _, err := io.ReadFull(r, dimBuf[:]); err != nil {
 			return nil, fmt.Errorf("transport: checkpoint δ dim: %w", err)
@@ -183,7 +324,20 @@ func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nAges > 0 {
+	if nAges > 0 && version >= 3 {
+		ticks, err := readCount(r, "update-age ticks")
+		if err != nil {
+			return nil, err
+		}
+		ck.UpdateTicks = ticks
+		ck.UpdateAges = make([]int, nAges)
+		for k := range ck.UpdateAges {
+			ck.UpdateAges[k] = ticks
+		}
+		if err := readAgeExceptions(r, ck.UpdateAges, "update-age exception"); err != nil {
+			return nil, err
+		}
+	} else if nAges > 0 {
 		buf := make([]byte, 4*nAges)
 		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, fmt.Errorf("transport: checkpoint update ages: %w", err)

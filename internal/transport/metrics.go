@@ -43,6 +43,7 @@ type serverMetrics struct {
 
 	staleAge  *telemetry.Histogram
 	staleRows *telemetry.Gauge
+	occRows   *telemetry.Gauge
 
 	// Async-mode series: how long each client takes to deliver its update
 	// (the adaptive deadline controller's input), the controller's current
@@ -86,6 +87,8 @@ func newServerMetrics(reg *telemetry.Registry, algo Algorithm) *serverMetrics {
 		staleAge: reg.Histogram("rfl_delta_staleness_age", "per-round ages of the δ-table rows",
 			deltaAgeBuckets),
 		staleRows: reg.Gauge("rfl_delta_stale_rows", "δ rows currently beyond MaxStaleness (excluded from targets)"),
+		occRows: reg.Gauge("rfl_delta_occupied_rows",
+			"δ-table rows with allocated storage (clients that ever reported a map)"),
 
 		clientRoundSec: reg.Histogram("rfl_client_round_seconds",
 			"per-client wall time from assignment to update delivery", telemetry.DefDurationBuckets),
@@ -118,6 +121,7 @@ func (m *serverMetrics) observeDeltaAges(t *core.DeltaTable, maxStale int) {
 		}
 	})
 	m.staleRows.Set(float64(stale))
+	m.occRows.Set(float64(t.OccupiedCount()))
 }
 
 // observeUpdateAges records every slot's model-update age after the round's

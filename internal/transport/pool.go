@@ -1,0 +1,64 @@
+// Bounded IO fan-out: a fixed-size worker pool replacing the server's old
+// one-goroutine-per-client send/recv phases. At 100k simulated clients the
+// per-phase goroutine burst (and its stack memory) must stay O(workers),
+// not O(N); slots are claimed dynamically off a shared atomic counter so
+// uneven per-slot costs (slow clients, evictions) balance across workers.
+package transport
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultIOWorkers is the per-phase goroutine budget when ServerConfig
+// leaves IOWorkers at 0. IO phases block on the network rather than the
+// CPU, so the pool oversubscribes the cores — but stays bounded and far
+// below one goroutine per client at scale.
+func defaultIOWorkers() int {
+	w := 8 * runtime.GOMAXPROCS(0)
+	if w > 256 {
+		w = 256
+	}
+	return w
+}
+
+// ioParallel runs fn(i) for every i in [0, n) on at most workers
+// goroutines and waits for all of them. Slot order across workers is not
+// deterministic, so fn must either be commutative or record into per-slot
+// storage (the server's phases write errs[i]/updates[i] and do all
+// order-sensitive folding serially afterwards). workers <= 0 selects the
+// default budget; a single-slot phase runs inline with no goroutines.
+func ioParallel(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = defaultIOWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

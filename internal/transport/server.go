@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 	"time"
 
 	"repro/internal/compress"
@@ -138,6 +137,26 @@ type ServerConfig struct {
 	// MMD matrix of the δ table (rFedAvg+), δ-row ages, evictions/rejoins,
 	// and the attempt's wire bytes in each direction.
 	Ledger *telemetry.RunLedger
+	// LedgerDetailN bounds the per-client ledger detail: sessions with more
+	// client slots than this record summary statistics (cohort size,
+	// loss/norm min-mean-max, age summary) and a sampled K×K MMD sub-matrix
+	// instead of the O(N) per-client arrays and the O(N²) MMD block. 0 means
+	// the default threshold (telemetry.DefaultLedgerDetailN); negative means
+	// full detail at any N.
+	LedgerDetailN int
+	// IOWorkers bounds the goroutine fan-out of each network phase (join,
+	// broadcast, gather, done): slots are multiplexed over a fixed pool
+	// instead of one goroutine per client, so a 100k-slot session bursts
+	// O(IOWorkers) goroutines per phase, not O(N). 0 means the default
+	// budget (8×GOMAXPROCS, capped at 256). Async update gathers still
+	// dedicate one in-flight receiver per cohort member — that is O(cohort),
+	// which subsampling keeps small.
+	IOWorkers int
+	// StreamN switches the δ table to its streaming (running-sum) mode when
+	// the session has at least StreamN client slots, making every δ̄^{-k}
+	// target an O(d) read instead of an O(N·d) pass. 0 means the core
+	// default (1024); negative disables streaming regardless of N.
+	StreamN int
 }
 
 // Eviction records one client dropped from a session.
@@ -227,52 +246,72 @@ type pendingJoin struct {
 
 // sessionCodec is the per-client negotiated wire-compression state: the
 // scheme chosen per payload class from the join handshake's caps, plus the
-// encode/decode buffers of the compressed path. Everything is indexed by
-// client slot, so the concurrent broadcast goroutines never share buffers,
-// and the buffers reach zero steady-state allocations once grown.
+// encode/decode buffers of the compressed path. Slot state is allocated
+// lazily at a client's first (re)join handshake — a session sized for 100k
+// potential slots holds one pointer per slot until a client actually
+// connects, not ten buffers. Slots are indexed by client, so the concurrent
+// broadcast goroutines never share buffers, and each slot's buffers reach
+// zero steady-state allocations once grown.
 type sessionCodec struct {
 	policy CodecPolicy
 	seed   int64
-	n      int // client slots; also the stride separating server RNG salts
+	n     int // client slots; also the stride separating server RNG salts
+	nslot int // slots with allocated state (negotiated at least once)
 
-	caps  []compress.Caps
-	bcast []compress.Scheme // server→client model params
-	upd   []compress.Scheme // client→server trained model
-	delta []compress.Scheme // δ payloads, both directions
+	slots []*codecSlot
+}
 
-	// bcastRef[i] is the decoded broadcast client i actually received this
+// codecSlot is one client's negotiated schemes and codec buffers. The zero
+// value is valid and means all-dense (compress.SchemeDense is the zero
+// Scheme), so a slot read before its first negotiate behaves like an
+// uncompressed client.
+type codecSlot struct {
+	caps  compress.Caps
+	bcast compress.Scheme // server→client model params
+	upd   compress.Scheme // client→server trained model
+	delta compress.Scheme // δ payloads, both directions
+
+	// bcastRef is the decoded broadcast this client actually received this
 	// round — the reference its packed (difference-coded) update is
-	// reconstructed against. Only maintained when bcast[i] is lossy.
-	bcastRef  [][]float64
-	bcastBuf  [][]byte // MsgAssign packed params
-	dreqBuf   [][]byte // MsgDeltaReq packed params
-	targetBuf [][]byte // MsgAssign packed δ target
-	updDec    [][]float64
-	deltaDec  [][]float64
+	// reconstructed against. Only maintained when bcast is lossy.
+	bcastRef  []float64
+	bcastBuf  []byte // MsgAssign packed params
+	dreqBuf   []byte // MsgDeltaReq packed params
+	targetBuf []byte // MsgAssign packed δ target
+	updDec    []float64
+	deltaDec  []float64
 }
 
 func (c *sessionCodec) init(policy CodecPolicy, seed int64, n int) {
 	c.policy, c.seed, c.n = policy, seed, n
-	c.caps = make([]compress.Caps, n)
-	c.bcast = make([]compress.Scheme, n)
-	c.upd = make([]compress.Scheme, n)
-	c.delta = make([]compress.Scheme, n)
-	c.bcastRef = make([][]float64, n)
-	c.bcastBuf = make([][]byte, n)
-	c.dreqBuf = make([][]byte, n)
-	c.targetBuf = make([][]byte, n)
-	c.updDec = make([][]float64, n)
-	c.deltaDec = make([][]float64, n)
+	c.nslot = 0
+	c.slots = make([]*codecSlot, n)
 }
+
+// slot returns client i's codec state, allocating it on first touch. Safe
+// under the concurrent per-slot phases: each goroutine owns a distinct i,
+// and writing slots[i] never moves the slice itself.
+func (c *sessionCodec) slot(i int) *codecSlot {
+	if c.slots[i] == nil {
+		c.slots[i] = &codecSlot{}
+		c.nslot++
+	}
+	return c.slots[i]
+}
+
+// allocated returns how many slots hold codec state — the quantity the
+// codec's memory scales with (joined clients, not potential slots).
+func (c *sessionCodec) allocated() int { return c.nslot }
 
 // negotiate records client i's advertised caps and picks its scheme per
 // payload class. Runs at every (re)join, so a rejoining binary with
 // different caps renegotiates cleanly.
 func (c *sessionCodec) negotiate(i int, caps compress.Caps) {
-	c.caps[i] = caps
-	c.bcast[i] = compress.Negotiate(c.policy.Broadcast, caps)
-	c.upd[i] = compress.Negotiate(c.policy.Update, caps)
-	c.delta[i] = compress.Negotiate(c.policy.Delta, caps)
+	sl := c.slot(i)
+	sl.caps = caps
+	sl.bcast = compress.Negotiate(c.policy.Broadcast, caps)
+	sl.upd = compress.Negotiate(c.policy.Update, caps)
+	sl.delta = compress.Negotiate(c.policy.Delta, caps)
 }
 
 // resizeFloats grows *buf to n elements, reusing its backing array when it
@@ -330,6 +369,9 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 		res:        &ServerResult{},
 	}
 	s.table.MaxStale = cfg.MaxStaleness
+	if streamN := streamThreshold(cfg.StreamN); streamN > 0 && len(conns) >= streamN {
+		s.table.SetStreaming(true)
+	}
 	s.codec.init(cfg.Codec, cfg.Seed, len(conns))
 	s.metrics = newServerMetrics(cfg.Metrics, cfg.Algorithm)
 	s.busy = make([]bool, len(conns))
@@ -421,20 +463,14 @@ func Serve(cfg ServerConfig, conns []Conn) (*ServerResult, error) {
 	// a session whose training already succeeded.
 	s.closePending()
 	ctx, cancel := s.phaseCtx()
-	var wg sync.WaitGroup
-	for i, c := range s.conns {
+	ioParallel(len(s.conns), s.cfg.IOWorkers, func(i int) {
 		if !s.active[i] {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			if err := sendCtx(ctx, c, &Message{Type: MsgDone, Params: s.global}); err != nil {
-				s.logf("done to client %d failed (ignored): %v", i, err)
-			}
-		}(i, c)
-	}
-	wg.Wait()
+		if err := sendCtx(ctx, s.conns[i], &Message{Type: MsgDone, Params: s.global}); err != nil {
+			s.logf("done to client %d failed (ignored): %v", i, err)
+		}
+	})
 	cancel()
 	s.res.FinalParams = s.global
 	return s.res, nil
@@ -515,21 +551,16 @@ func (s *session) evict(i, round int, reason string) {
 	s.event("evict", round, s.lastFault)
 }
 
-// collectJoins gathers the MsgJoin handshake from every initial client.
+// collectJoins gathers the MsgJoin handshake from every initial client over
+// the bounded IO pool.
 func (s *session) collectJoins() error {
 	ctx, cancel := s.phaseCtx()
 	defer cancel()
 	msgs := make([]*Message, len(s.conns))
 	errs := make([]error, len(s.conns))
-	var wg sync.WaitGroup
-	for i, c := range s.conns {
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			msgs[i], errs[i] = recvCtx(ctx, c)
-		}(i, c)
-	}
-	wg.Wait()
+	ioParallel(len(s.conns), s.cfg.IOWorkers, func(i int) {
+		msgs[i], errs[i] = recvCtx(ctx, s.conns[i])
+	})
 	for i, m := range msgs {
 		switch {
 		case errs[i] != nil:
@@ -563,14 +594,20 @@ func (s *session) restore(ck *Checkpoint) (int, error) {
 			return 0, fmt.Errorf("transport: checkpoint has %d δ rows, session has %d clients", len(ck.DeltaRows), len(s.conns))
 		}
 		for k, row := range ck.DeltaRows {
+			if row == nil {
+				continue // sparse checkpoint: slot never reported a map
+			}
 			if len(row) != s.cfg.FeatureDim {
 				return 0, fmt.Errorf("transport: checkpoint δ row %d has %d dims, want %d", k, len(row), s.cfg.FeatureDim)
 			}
 			s.table.Set(k, row)
-			if k < len(ck.DeltaAges) {
-				s.table.SetAge(k, ck.DeltaAges[k])
+		}
+		for k, age := range ck.DeltaAges {
+			if k < len(s.conns) {
+				s.table.SetAge(k, age)
 			}
 		}
+		s.table.SetTicks(ck.DeltaTicks)
 	}
 	if err := s.restoreAsync(ck); err != nil {
 		return 0, err
@@ -591,15 +628,22 @@ func (s *session) checkpoint(nextRound int) {
 		RoundLosses: append([]float64(nil), s.res.RoundLosses...),
 	}
 	if s.cfg.Algorithm == AlgoRFedAvgPlus {
+		// Sparse capture: only occupied (ever-Set) rows carry float data;
+		// never-joined slots stay nil and cost nothing on disk. Ages stay
+		// dense in memory (ints), encoded as ticks-default + exceptions.
 		ck.DeltaRows = make([][]float64, len(s.conns))
 		ck.DeltaAges = make([]int, len(s.conns))
-		for k := range ck.DeltaRows {
-			ck.DeltaRows[k] = append([]float64(nil), s.table.Get(k)...)
+		s.table.ForEachRow(func(k int, row []float64) {
+			ck.DeltaRows[k] = append([]float64(nil), row...)
+		})
+		for k := range ck.DeltaAges {
 			ck.DeltaAges[k] = s.table.Age(k)
 		}
+		ck.DeltaTicks = s.table.Ticks()
 	}
 	ck.UpdateAges = make([]int, s.updAges.Len())
 	s.updAges.ForEach(func(k, age int) { ck.UpdateAges[k] = age })
+	ck.UpdateTicks = s.updAges.Ticks()
 	// Parked-but-unaggregated updates ship with the checkpoint so a resumed
 	// session folds exactly what this one would have.
 	for _, b := range s.folds() {
@@ -730,6 +774,17 @@ func (s *session) place(p pendingJoin) {
 	s.event("rejoin", -1, fmt.Sprintf("slot %d", slot))
 }
 
+// ledgerDetail reports whether the session is small enough for per-client
+// ledger detail (full loss/norm/age arrays and the N×N MMD block);
+// above the threshold rounds ledger summary statistics instead.
+func (s *session) ledgerDetail() bool {
+	n := s.cfg.LedgerDetailN
+	if n == 0 {
+		n = telemetry.DefaultLedgerDetailN
+	}
+	return n < 0 || len(s.conns) <= n
+}
+
 // runRound wraps one round attempt with its observability capture: the
 // traced round span (parent of every phase and per-client span, and of the
 // client-side spans via the frame headers), and the ledger record for the
@@ -796,7 +851,7 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			rec.DeadlineSec = d.Seconds()
 		}
 	}
-	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), population, s.cfg.SampleRatio)
+	cohort := sampleCohortActive(cohortRNG(s.cfg.Seed, round), population, s.cfg.SampleRatio, s.minClients)
 
 	// Sync #1: assign work to the cohort; skip everyone else. Assign frames
 	// carry the round span's context so client-side spans join the tree.
@@ -811,31 +866,32 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		if !cohort[i] {
 			return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 		}
-		m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Want: s.codec.upd[i]}
-		if bs := s.codec.bcast[i]; bs != compress.SchemeDense {
+		sl := s.codec.slot(i)
+		m := &Message{Type: MsgAssign, Round: int32(round), ClientID: int32(i), Want: sl.upd}
+		if bs := sl.bcast; bs != compress.SchemeDense {
 			// Server encode RNGs are salted by slot plus a stride per payload
 			// class, so no two encodes of one round share a stream; re-derived
 			// per (Seed, round), they replay bitwise on retry and resume.
-			m.PParams = packVec(&s.codec.bcastBuf[i], bs, s.global, compress.RNG(s.cfg.Seed, round, i+s.codec.n))
+			m.PParams = packVec(&sl.bcastBuf, bs, s.global, compress.RNG(s.cfg.Seed, round, i+s.codec.n))
 			// Keep the decoded broadcast: it is both what the client trains
 			// from and the reference its packed update is rebuilt against.
-			ref := resizeFloats(&s.codec.bcastRef[i], len(s.global))
+			ref := resizeFloats(&sl.bcastRef, len(s.global))
 			if err := compress.DecodeInto(ref, bs, m.PParams.Data); err != nil {
 				panic(fmt.Sprintf("transport: self-decode of broadcast failed: %v", err))
 			}
 			compress.ObserveReconError(bs, compress.RelError(s.global, ref))
 		} else {
 			m.Params = s.global
-			if s.cfg.Async && s.codec.upd[i] != compress.SchemeDense {
+			if s.cfg.Async && sl.upd != compress.SchemeDense {
 				// A packed update is diff-coded against this broadcast, which
 				// a straggler's update may outlive — keep a copy as reference.
-				copy(resizeFloats(&s.codec.bcastRef[i], len(s.global)), s.global)
+				copy(resizeFloats(&sl.bcastRef, len(s.global)), s.global)
 			}
 		}
 		if plus {
 			target := s.table.MeanExcluding(i)
-			if ds := s.codec.delta[i]; ds != compress.SchemeDense && len(target) > 0 {
-				m.PDelta = packVec(&s.codec.targetBuf[i], ds, target, compress.RNG(s.cfg.Seed, round, i+2*s.codec.n))
+			if ds := sl.delta; ds != compress.SchemeDense && len(target) > 0 {
+				m.PDelta = packVec(&sl.targetBuf, ds, target, compress.RNG(s.cfg.Seed, round, i+2*s.codec.n))
 			} else {
 				m.Delta = target
 			}
@@ -906,10 +962,22 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	// Renormalize the aggregation weights over the survivors that actually
 	// delivered. valid ≥ 1 and every join carried > 0 samples, but guard
 	// the division anyway: 0/0 here would NaN the whole model.
+	//
+	// Large cohorts take the sharded path: slots partition by i % aggShards,
+	// each shard worker accumulates its partial weighted sum, and a fixed
+	// binary tree combines the partials — no goroutine touches all updates,
+	// and the FP order is constant across runs and machines. Below the
+	// threshold the serial slot-order loop runs, bitwise-identical to the
+	// pre-sharding server.
+	sharded := valid >= shardMinAgg
 	wsum := 0.0
-	for i, d := range delivered {
-		if d {
-			wsum += s.samples[i]
+	if sharded {
+		wsum = shardedWeightSum(s.samples, delivered)
+	} else {
+		for i, d := range delivered {
+			if d {
+				wsum += s.samples[i]
+			}
 		}
 	}
 	for _, b := range folds {
@@ -921,21 +989,45 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	}
 	next := make([]float64, len(s.global))
 	loss := 0.0
-	for i, m := range updates {
-		if m == nil {
-			continue
+	if sharded {
+		loss = shardedAggregate(next, updates, s.samples, wsum)
+	} else {
+		for i, m := range updates {
+			if m == nil {
+				continue
+			}
+			wi := s.samples[i] / wsum
+			tensor.AxpyFloats(next, wi, m.Params)
+			loss += wi * m.Loss
 		}
-		wi := s.samples[i] / wsum
-		tensor.AxpyFloats(next, wi, m.Params)
-		loss += wi * m.Loss
-		if s.cfg.Ledger != nil {
-			// Update norm ‖w_k − w_global‖ against the model the client
-			// trained from (s.global is not overwritten until below),
-			// on the SIMD squared-distance kernel.
-			d := tensor.SquaredDistanceFloats(m.Params, s.global)
-			rec.ClientID = append(rec.ClientID, i)
-			rec.ClientLoss = append(rec.ClientLoss, m.Loss)
-			rec.ClientNorm = append(rec.ClientNorm, math.Sqrt(d))
+	}
+	if s.cfg.Ledger != nil {
+		rec.Cohort = valid + len(folds)
+		if s.ledgerDetail() {
+			for i, m := range updates {
+				if m == nil {
+					continue
+				}
+				// Update norm ‖w_k − w_global‖ against the model the client
+				// trained from (s.global is not overwritten until below),
+				// on the SIMD squared-distance kernel.
+				d := tensor.SquaredDistanceFloats(m.Params, s.global)
+				rec.ClientID = append(rec.ClientID, i)
+				rec.ClientLoss = append(rec.ClientLoss, m.Loss)
+				rec.ClientNorm = append(rec.ClientNorm, math.Sqrt(d))
+			}
+		} else {
+			// Above LedgerDetailN the per-client arrays would be O(N) per
+			// line; record min/mean/max over the delivered cohort instead.
+			var lt, nt telemetry.StatTriple
+			for _, m := range updates {
+				if m == nil {
+					continue
+				}
+				lt.Add(m.Loss)
+				nt.Add(math.Sqrt(tensor.SquaredDistanceFloats(m.Params, s.global)))
+			}
+			rec.LossStats, rec.NormStats = lt, nt
 		}
 	}
 	for _, b := range folds {
@@ -977,9 +1069,10 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			if !delivered[i] {
 				return &Message{Type: MsgSkip, Round: int32(round), ClientID: int32(i)}
 			}
-			m := &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Want: s.codec.delta[i]}
-			if bs := s.codec.bcast[i]; bs != compress.SchemeDense {
-				m.PParams = packVec(&s.codec.dreqBuf[i], bs, s.global, compress.RNG(s.cfg.Seed, round, i+3*s.codec.n))
+			sl := s.codec.slot(i)
+			m := &Message{Type: MsgDeltaReq, Round: int32(round), ClientID: int32(i), Want: sl.delta}
+			if bs := sl.bcast; bs != compress.SchemeDense {
+				m.PParams = packVec(&sl.dreqBuf, bs, s.global, compress.RNG(s.cfg.Seed, round, i+3*s.codec.n))
 			} else {
 				m.Params = s.global
 			}
@@ -996,7 +1089,7 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 					s.evict(i, round, fmt.Sprintf("sent packed δ of %d dims, want %d", m.PDelta.N, s.cfg.FeatureDim))
 					continue
 				}
-				dec := resizeFloats(&s.codec.deltaDec[i], s.cfg.FeatureDim)
+				dec := resizeFloats(&s.codec.slot(i).deltaDec, s.cfg.FeatureDim)
 				if err := compress.DecodeInto(dec, m.PDelta.Scheme, m.PDelta.Data); err != nil {
 					s.evict(i, round, fmt.Sprintf("packed δ: %v", err))
 					continue
@@ -1038,17 +1131,34 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 		s.ctrl.retune(s.conns, s.active)
 	}
 	if s.cfg.Ledger != nil {
+		detail := s.ledgerDetail()
 		if plus {
-			rec.MMD = s.table.PairwiseMMDInto(rec.MMD)
-			rec.MMDDim = s.table.N
+			if detail {
+				rec.MMD = s.table.PairwiseMMDInto(rec.MMD)
+				rec.MMDDim = s.table.N
+			} else {
+				// The full matrix would be O(N²) floats per line; ledger a
+				// deterministic K×K sub-matrix with its row ids instead.
+				rec.MMDSample = s.table.SampleRows(telemetry.LedgerMMDSampleK)
+				rec.MMD = s.table.SampledMMDInto(rec.MMD, rec.MMDSample)
+				rec.MMDDim = len(rec.MMDSample)
+			}
 		}
 		stale := 0
+		var at telemetry.StatTriple
 		for k := 0; k < s.table.N; k++ {
 			age := s.table.Age(k)
-			rec.DeltaAges = append(rec.DeltaAges, age)
+			if detail {
+				rec.DeltaAges = append(rec.DeltaAges, age)
+			} else {
+				at.Add(float64(age))
+			}
 			if s.cfg.MaxStaleness > 0 && age > s.cfg.MaxStaleness {
 				stale++
 			}
+		}
+		if !detail {
+			rec.AgeStats = at
 		}
 		rec.StaleRows = stale
 	}
@@ -1066,28 +1176,22 @@ func cohortRNG(seed int64, round int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(round)*7919 + 17))
 }
 
-// broadcastActive sends mk(i) to every active connection concurrently,
-// stamping the round span's context onto each frame; clients whose send
-// fails are evicted.
+// broadcastActive sends mk(i) to every active connection over the bounded
+// IO pool, stamping the round span's context onto each frame; clients whose
+// send fails are evicted (serially, after the pool drains).
 func (s *session) broadcastActive(ctx context.Context, round int, span telemetry.SpanContext, mk func(i int) *Message) {
 	errs := make([]error, len(s.conns))
-	var wg sync.WaitGroup
-	for i, c := range s.conns {
+	ioParallel(len(s.conns), s.cfg.IOWorkers, func(i int) {
 		if !s.active[i] {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			m := mk(i)
-			if m == nil {
-				return // async mode: nothing for an in-flight straggler
-			}
-			m.setSpanContext(span)
-			errs[i] = sendCtx(ctx, c, m)
-		}(i, c)
-	}
-	wg.Wait()
+		m := mk(i)
+		if m == nil {
+			return // async mode: nothing for an in-flight straggler
+		}
+		m.setSpanContext(span)
+		errs[i] = sendCtx(ctx, s.conns[i], m)
+	})
 	for i, err := range errs {
 		if err != nil {
 			s.evict(i, round, fmt.Sprintf("broadcast: %v", err))
@@ -1103,26 +1207,20 @@ func (s *session) broadcastActive(ctx context.Context, round int, span telemetry
 func (s *session) gatherActive(ctx context.Context, round int, from []bool, want MsgType, spanName string, parent telemetry.SpanContext) []*Message {
 	msgs := make([]*Message, len(s.conns))
 	errs := make([]error, len(s.conns))
-	var wg sync.WaitGroup
-	for i, c := range s.conns {
+	ioParallel(len(s.conns), s.cfg.IOWorkers, func(i int) {
 		if !from[i] || !s.active[i] {
-			continue
+			return
 		}
-		wg.Add(1)
-		go func(i int, c Conn) {
-			defer wg.Done()
-			sp := s.cfg.Tracer.Start(spanName, parent)
-			sp.Round, sp.Client = round, i
-			start := time.Now()
-			msgs[i], errs[i] = gatherOne(ctx, c, want, round)
-			sp.End()
-			if s.ctrl != nil && want == MsgUpdate && errs[i] == nil {
-				// Per-slot EWMA write: no two goroutines share a slot.
-				s.ctrl.observe(i, time.Since(start))
-			}
-		}(i, c)
-	}
-	wg.Wait()
+		sp := s.cfg.Tracer.Start(spanName, parent)
+		sp.Round, sp.Client = round, i
+		start := time.Now()
+		msgs[i], errs[i] = gatherOne(ctx, s.conns[i], want, round)
+		sp.End()
+		if s.ctrl != nil && want == MsgUpdate && errs[i] == nil {
+			// Per-slot EWMA write: no two goroutines share a slot.
+			s.ctrl.observe(i, time.Since(start))
+		}
+	})
 	for i, err := range errs {
 		if err != nil {
 			msgs[i] = nil
@@ -1152,8 +1250,12 @@ func gatherOne(ctx context.Context, c Conn, want MsgType, round int) (*Message, 
 }
 
 // sampleCohortActive marks ⌈sr·(active count)⌉ distinct active
-// participants; sr outside (0,1) means every active client.
-func sampleCohortActive(rng *rand.Rand, active []bool, sr float64) []bool {
+// participants; sr outside (0,1) means every active client. The cohort is
+// clamped to at least max(1, minK) members (bounded by the active count):
+// tiny sample ratios — ⌈sr·N⌉ rounding below the quorum, or a float
+// product flushing to 0 — otherwise produce rounds that can never reach
+// MinClients and stall the retry loop instead of training.
+func sampleCohortActive(rng *rand.Rand, active []bool, sr float64, minK int) []bool {
 	cohort := make([]bool, len(active))
 	if sr <= 0 || sr >= 1 {
 		copy(cohort, active)
@@ -1166,6 +1268,9 @@ func sampleCohortActive(rng *rand.Rand, active []bool, sr float64) []bool {
 		}
 	}
 	k := int(math.Ceil(sr * float64(len(idx))))
+	if k < minK {
+		k = minK
+	}
 	if k < 1 {
 		k = 1
 	}
@@ -1178,13 +1283,14 @@ func sampleCohortActive(rng *rand.Rand, active []bool, sr float64) []bool {
 	return cohort
 }
 
-// sampleCohort is sampleCohortActive over a fully active population.
+// sampleCohort is sampleCohortActive over a fully active population with no
+// quorum floor beyond the ≥ 1 clamp.
 func sampleCohort(rng *rand.Rand, n int, sr float64) []bool {
 	active := make([]bool, n)
 	for i := range active {
 		active[i] = true
 	}
-	return sampleCohortActive(rng, active, sr)
+	return sampleCohortActive(rng, active, sr, 1)
 }
 
 // finiteSlice reports whether every element is finite.

@@ -1,0 +1,127 @@
+// Sharded aggregation: above a cohort-size threshold the server's FedAvg
+// reduction fans the delivered updates out to a fixed set of shard workers.
+// Each worker owns the slots with i % aggShards == shard and accumulates a
+// partial weighted parameter sum, partial weighted loss, and partial weight
+// total; the partials are then combined by a deterministic binary tree
+// reduce. No single goroutine ever touches all N updates, and the whole
+// reduction is deterministic across runs and machines: the shard count is a
+// constant (not GOMAXPROCS), within-shard order is slot order, and the tree
+// shape depends only on aggShards.
+package transport
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// aggShards is the fixed shard count of the parallel aggregation path. A
+// constant — never the core count — so the floating-point reduction order,
+// and therefore the trained model, is identical on every machine and across
+// kill/resume boundaries.
+const aggShards = 16
+
+// shardMinAgg is the minimum number of delivered updates before the
+// aggregation switches to the sharded path. Below it the serial slot-order
+// loop is both faster and bitwise-identical to the pre-sharding server, so
+// every small-N determinism test keeps its exact floating-point story.
+const shardMinAgg = 64
+
+// streamThreshold resolves a StreamN knob: 0 → the core default, negative →
+// disabled (0), positive → itself.
+func streamThreshold(streamN int) int {
+	if streamN == 0 {
+		return core.DefaultStreamN
+	}
+	if streamN < 0 {
+		return 0
+	}
+	return streamN
+}
+
+// aggPartial is one shard's reduction state.
+type aggPartial struct {
+	sum  []float64 // Σ (samples[i]/wsum)·params_i over the shard's slots
+	loss float64   // Σ (samples[i]/wsum)·loss_i
+	wsum float64   // Σ samples[i] (un-normalized; used by the wsum pass)
+}
+
+// shardedWeightSum computes Σ samples[i] over delivered slots on the shard
+// workers and tree-reduces the scalar partials — the sample-count total the
+// aggregation weights renormalize by.
+func shardedWeightSum(samples []float64, delivered []bool) float64 {
+	partials := make([]aggPartial, aggShards)
+	var wg sync.WaitGroup
+	wg.Add(aggShards)
+	for sh := 0; sh < aggShards; sh++ {
+		go func(sh int) {
+			defer wg.Done()
+			w := 0.0
+			for i := sh; i < len(delivered); i += aggShards {
+				if delivered[i] {
+					w += samples[i]
+				}
+			}
+			partials[sh].wsum = w
+		}(sh)
+	}
+	wg.Wait()
+	for span := 1; span < aggShards; span *= 2 {
+		for lo := 0; lo+span < aggShards; lo += 2 * span {
+			partials[lo].wsum += partials[lo+span].wsum
+		}
+	}
+	return partials[0].wsum
+}
+
+// shardedAggregate reduces the delivered updates into next (length model,
+// pre-zeroed) and returns the weighted mean loss. updates[i] non-nil marks
+// a delivered slot; weights are samples[i]/wsum. The result is the same
+// weighted average the serial loop computes, in a different (but fixed)
+// summation order.
+func shardedAggregate(next []float64, updates []*Message, samples []float64, wsum float64) float64 {
+	partials := make([]aggPartial, aggShards)
+	var wg sync.WaitGroup
+	wg.Add(aggShards)
+	for sh := 0; sh < aggShards; sh++ {
+		go func(sh int) {
+			defer wg.Done()
+			p := &partials[sh]
+			for i := sh; i < len(updates); i += aggShards {
+				m := updates[i]
+				if m == nil {
+					continue
+				}
+				wi := samples[i] / wsum
+				if p.sum == nil {
+					p.sum = make([]float64, len(next))
+				}
+				tensor.AxpyFloats(p.sum, wi, m.Params)
+				p.loss += wi * m.Loss
+			}
+		}(sh)
+	}
+	wg.Wait()
+	// Binary tree reduce over the shard partials: partial[lo] absorbs
+	// partial[lo+span] at each level. Fixed shape → fixed FP order. Shards
+	// whose slots all missed stay nil and are skipped without perturbing
+	// the order of the others.
+	for span := 1; span < aggShards; span *= 2 {
+		for lo := 0; lo+span < aggShards; lo += 2 * span {
+			a, b := &partials[lo], &partials[lo+span]
+			if b.sum != nil {
+				if a.sum == nil {
+					a.sum, b.sum = b.sum, nil
+				} else {
+					tensor.AddFloats(a.sum, b.sum)
+				}
+			}
+			a.loss += b.loss
+		}
+	}
+	if partials[0].sum != nil {
+		tensor.AddFloats(next, partials[0].sum)
+	}
+	return partials[0].loss
+}
