@@ -1,15 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all ci build vet test test-race telemetry-smoke chaos-smoke scale-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
+.PHONY: all ci build vet test test-race telemetry-smoke health-smoke chaos-smoke scale-smoke bench bench-json bench-compare bench-smoke fuzz-short repro-fast repro-bench examples
 
 all: build vet test test-race
 
 # The full CI gate, in dependency order: static checks and unit tests, the
 # race pass, the observability smoke (metrics scrape + trace/ledger
-# validation), the async straggler matrix under the race detector, the
-# 100k-client scale smoke, the decoder fuzz pass, the hot-path benchmark
-# regression gate, and the parallel-speedup smoke.
-ci: vet test test-race telemetry-smoke chaos-smoke scale-smoke fuzz-short bench-compare bench-smoke
+# validation), the live health-monitor smoke, the async straggler matrix
+# under the race detector, the 100k-client scale smoke, the decoder fuzz
+# pass, the hot-path benchmark regression gate, and the parallel-speedup
+# smoke.
+ci: vet test test-race telemetry-smoke health-smoke chaos-smoke scale-smoke fuzz-short bench-compare bench-smoke
 
 build:
 	go build ./...
@@ -48,20 +49,52 @@ telemetry-smoke:
 	grep -q '"up_scheme":"q8"' $$tmp/ledger-q8.jsonl && \
 	rm -rf $$tmp && echo "trace/ledger smoke passed"
 
+# Smoke-test live run health monitoring end to end: start an flsim run with
+# the health monitor on and two injected Byzantine clients (one sign-flip,
+# one 10× scale), scrape /debug/fl/health over HTTP *while the run is
+# live*, and require a valid JSON snapshot carrying per-client scores and a
+# firing alert (flbench -health-scrape polls until it sees one). After the
+# run, the ledger must carry round verdicts, the event log the edge-
+# triggered health_alert lines, and fltrace -follow must render the
+# finished streams as a dashboard.
+health-smoke:
+	@tmp=$$(mktemp -d) || exit 1; \
+	go build -o $$tmp/flsim ./cmd/flsim || exit 1; \
+	go build -o $$tmp/flbench ./cmd/flbench || exit 1; \
+	go build -o $$tmp/fltrace ./cmd/fltrace || exit 1; \
+	$$tmp/flsim -dataset mnist -method rfedavg+ -clients 6 -rounds 150 \
+		-e 1 -b 16 -train 600 -test 100 -sim 0 \
+		-health -byzantine 2:signflip,5:scale10 \
+		-telemetry-addr 127.0.0.1:17917 \
+		-ledger $$tmp/ledger.jsonl -events $$tmp/events.jsonl \
+		>$$tmp/run.log 2>&1 & \
+	pid=$$!; \
+	if ! $$tmp/flbench -health-scrape 'http://127.0.0.1:17917/debug/fl/health?top=8' \
+		-scrape-timeout 90s; then \
+		kill $$pid 2>/dev/null; cat $$tmp/run.log; exit 1; \
+	fi; \
+	wait $$pid || { cat $$tmp/run.log; exit 1; }; \
+	grep -q '"verdict":' $$tmp/ledger.jsonl && \
+	grep -q 'health_alert' $$tmp/events.jsonl && \
+	$$tmp/fltrace -follow -ledger $$tmp/ledger.jsonl -events $$tmp/events.jsonl >/dev/null && \
+	rm -rf $$tmp && echo "health smoke passed"
+
 # Prove the 100k-client scale story end to end: a short cohort-subsampled
 # flsim session over 100k simulated clients must finish inside a wall-clock
 # budget with peak heap bounded well below anything O(N·d) would need —
 # steady-state memory tracks the sampled cohort, not the client count. The
-# run exercises the sharded aggregation path, the streaming δ table, and
-# the summary-mode ledger; the ledger line must carry the sampled MMD
-# block, never the N×N matrix.
+# run exercises the sharded aggregation path, the streaming δ table, the
+# summary-mode ledger, and — with -health on — the monitor's O(cohort)
+# memory claim; the ledger line must carry the sampled MMD block and the
+# health summary triple, never per-client arrays.
 scale-smoke:
 	@tmp=$$(mktemp -d) && \
 	go run ./cmd/flsim -clients 100000 -sr 0.001 -rounds 3 \
 		-e 1 -b 10 -train 2000 -test 100 \
-		-heap-budget-mb 2048 -wall-budget 120s \
+		-heap-budget-mb 2048 -wall-budget 120s -health \
 		-ledger $$tmp/ledger.jsonl && \
 	grep -q '"mmd_sample":' $$tmp/ledger.jsonl && \
+	grep -q '"health_stats":' $$tmp/ledger.jsonl && \
 	! grep -q '"client_id":' $$tmp/ledger.jsonl && \
 	rm -rf $$tmp && echo "scale smoke passed"
 

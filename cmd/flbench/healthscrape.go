@@ -1,0 +1,76 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// healthScrape polls a running server's /debug/fl/health endpoint until the
+// snapshot proves the monitor is live: a verdict, at least one per-client
+// entry carrying a score, and at least one alert (the smoke harness injects
+// a fault, so an alert must fire). It is the assertion half of
+// `make health-smoke` — the run itself is started by the Makefile.
+func healthScrape(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 5 * time.Second}
+	var lastErr error = fmt.Errorf("no scrape attempted")
+	for time.Now().Before(deadline) {
+		if err := scrapeOnce(client, url); err != nil {
+			lastErr = err
+			time.Sleep(150 * time.Millisecond)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("timed out after %s: %w", timeout, lastErr)
+}
+
+// scrapeOnce fetches and validates one snapshot.
+func scrapeOnce(client *http.Client, url string) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	var snap struct {
+		Round   int    `json:"round"`
+		Verdict string `json:"verdict"`
+		Clients []struct {
+			ID    int      `json:"id"`
+			Score *float64 `json:"score"`
+		} `json:"clients"`
+		Alerts []struct {
+			Rule string `json:"rule"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return fmt.Errorf("invalid snapshot JSON: %w", err)
+	}
+	switch {
+	case snap.Verdict == "" || snap.Verdict == "off":
+		return fmt.Errorf("monitor not live (verdict %q)", snap.Verdict)
+	case len(snap.Clients) == 0:
+		return fmt.Errorf("no per-client scores yet (round %d)", snap.Round)
+	case len(snap.Alerts) == 0:
+		return fmt.Errorf("no active alerts yet (round %d, %d clients)", snap.Round, len(snap.Clients))
+	}
+	for _, c := range snap.Clients {
+		if c.Score == nil {
+			continue // unknown scores marshal as null; at least one must be numeric
+		}
+		if *c.Score < 0 || *c.Score > 1 {
+			return fmt.Errorf("client %d score %g outside [0,1]", c.ID, *c.Score)
+		}
+	}
+	return nil
+}

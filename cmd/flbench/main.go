@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cliflags"
@@ -56,9 +57,20 @@ func main() {
 		benchSmoke = flag.Bool("bench-smoke", false, "assert the parallel kernel path beats serial on the largest shapes; skips with a warning on single-CPU machines")
 		reqMulti   = flag.Bool("require-multicore", false, "with -bench-compare: fail when either record was made at GOMAXPROCS=1 or num_cpu=1")
 		smoke      = flag.Bool("telemetry-smoke", false, "run a short instrumented session, scrape /metrics, and fail on missing core series")
+		healthURL  = flag.String("health-scrape", "", "poll this /debug/fl/health URL until it serves a live snapshot with per-client scores and a firing alert, then exit (the health-smoke CI gate)")
+		scrapeWait = flag.Duration("scrape-timeout", 60*time.Second, "give up on -health-scrape after this long")
 		showTelem  = cliflags.Summary()
 	)
 	flag.Parse()
+
+	if *healthURL != "" {
+		if err := healthScrape(*healthURL, *scrapeWait); err != nil {
+			fmt.Fprintln(os.Stderr, "flbench: health-scrape:", err)
+			os.Exit(1)
+		}
+		fmt.Println("health scrape passed")
+		return
+	}
 
 	if *smoke {
 		if err := telemetrySmoke(os.Stdout); err != nil {

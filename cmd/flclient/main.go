@@ -48,12 +48,21 @@ func main() {
 		compressV  = cliflags.Compress("all")
 		compressEF = flag.Bool("compress-ef", false, "carry quantization residuals across rounds (error feedback; breaks bitwise resume)")
 		showTelem  = cliflags.Summary()
+		healthF    = cliflags.HealthFlags()
 		obs        = cliflags.Register(true, true, false)
 	)
 	flag.Parse()
 	if err := obs.Open(); err != nil {
 		fmt.Fprintln(os.Stderr, "flclient:", err)
 		os.Exit(1)
+	}
+	// A client-side monitor watches only this client (a cohort of one):
+	// loss trend and update norms against its own history, scored the same
+	// way the server scores the fleet.
+	mon, err := healthF.Monitor(telemetry.Default(), obs.Events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flclient:", err)
+		os.Exit(2)
 	}
 	if *shard < 0 || *shard >= *of {
 		fmt.Fprintf(os.Stderr, "flclient: shard %d outside [0, %d)\n", *shard, *of)
@@ -116,6 +125,7 @@ func main() {
 		ErrorFeedback: *compressEF,
 		Tracer:        obs.Tracer,
 		Events:        obs.Events,
+		Health:        mon,
 	}
 
 	// Dial-and-train with a rejoin loop: on a mid-session connection

@@ -80,7 +80,8 @@ func main() {
 		streamN   = flag.Int("stream-n", 0, "client count at which the δ table switches to streaming mean maintenance (0 = default threshold, negative = never)")
 		detailN   = cliflags.LedgerDetail()
 
-		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, and /debug/pprof on this address (empty disables)")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /debug/pprof, and /debug/fl/health on this address (empty disables)")
+		healthF       = cliflags.HealthFlags()
 		obs           = cliflags.Register(true, true, true)
 	)
 	flag.Parse()
@@ -90,14 +91,20 @@ func main() {
 	}
 	defer obs.Close()
 
+	mon, err := healthF.Monitor(telemetry.Default(), obs.Events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserver:", err)
+		os.Exit(2)
+	}
 	if *telemetryAddr != "" {
-		ts, err := telemetry.ListenAndServe(*telemetryAddr, nil)
+		ts, err := telemetry.ListenAndServe(*telemetryAddr, nil,
+			telemetry.DebugEndpoint{Path: "/debug/fl/health", H: mon.Handler()})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "flserver:", err)
 			os.Exit(1)
 		}
 		defer ts.Close()
-		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", ts.Addr())
+		fmt.Printf("telemetry on http://%s/metrics (pprof under /debug/pprof/, health at /debug/fl/health)\n", ts.Addr())
 	}
 
 	upScheme, err := cliflags.ParseCompress(*compressUp)
@@ -185,6 +192,7 @@ func main() {
 		Events:        obs.Events,
 		Tracer:        obs.Tracer,
 		Ledger:        obs.Ledger,
+		Health:        mon,
 		LedgerDetailN: *detailN,
 		IOWorkers:     *ioWorkers,
 		StreamN:       *streamN,

@@ -68,6 +68,9 @@ func main() {
 		compressV  = cliflags.Compress("dense")
 		compressEF = flag.Bool("compress-ef", false, "carry quantization residuals across rounds (error feedback)")
 		showTelem  = cliflags.Summary()
+		healthF    = cliflags.HealthFlags()
+		telemAddr  = flag.String("telemetry-addr", "", "serve /metrics, pprof, and /debug/fl/health on this address for the duration of the run (e.g. 127.0.0.1:9090)")
+		byzantine  = flag.String("byzantine", "", "comma-separated Byzantine clients, id:signflip or id:scaleC (e.g. 2:signflip,5:scale10): tamper with the listed clients' model updates before aggregation")
 		obs        = cliflags.Register(true, true, true)
 	)
 	flag.Parse()
@@ -81,6 +84,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flsim:", err)
 		os.Exit(2)
+	}
+	mon, err := healthF.Monitor(telemetry.Default(), obs.Events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(2)
+	}
+	bz, err := parseByzantine(*byzantine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flsim:", err)
+		os.Exit(2)
+	}
+	if *telemAddr != "" {
+		srv, err := telemetry.ListenAndServe(*telemAddr, telemetry.Default(),
+			telemetry.DebugEndpoint{Path: "/debug/fl/health", H: mon.Handler()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s (metrics, pprof, /debug/fl/health)\n", srv.Addr())
 	}
 
 	train, test, builder, defLR, newOpt, err := makeData(*dataset, *trainN, *testN, *clients, *featureDim, *seed)
@@ -145,6 +168,8 @@ func main() {
 		Ledger:          obs.Ledger,
 		LedgerDetailN:   *detailN,
 		Events:          obs.Events,
+		Health:          mon,
+		Byzantine:       bz,
 	}
 	f := fl.NewFederation(cfg, shards, test)
 
@@ -272,6 +297,41 @@ func makeData(dataset string, trainN, testN, clients, featureDim int, seed int64
 	default:
 		return nil, nil, nil, 0, nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
+}
+
+// parseByzantine parses the -byzantine list: "id:signflip" or "id:scaleC"
+// entries, comma-separated; multiple entries for one client compose.
+func parseByzantine(v string) (map[int]fl.Byzantine, error) {
+	if v == "" {
+		return nil, nil
+	}
+	out := make(map[int]fl.Byzantine)
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		id, mode, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-byzantine: %q: want id:signflip or id:scaleC", part)
+		}
+		ci, err := strconv.Atoi(id)
+		if err != nil || ci < 0 {
+			return nil, fmt.Errorf("-byzantine: bad client id %q", id)
+		}
+		b := out[ci]
+		switch {
+		case mode == "signflip":
+			b.SignFlip = true
+		case strings.HasPrefix(mode, "scale"):
+			c, err := strconv.ParseFloat(mode[len("scale"):], 64)
+			if err != nil || c <= 0 {
+				return nil, fmt.Errorf("-byzantine: bad scale %q", mode)
+			}
+			b.Scale = c
+		default:
+			return nil, fmt.Errorf("-byzantine: unknown mode %q (signflip or scaleC)", mode)
+		}
+		out[ci] = b
+	}
+	return out, nil
 }
 
 // parseSlow parses the -slow multiplier list. An empty value means uniform

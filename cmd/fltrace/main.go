@@ -12,6 +12,11 @@
 //   - With -ledger and -compare: a side-by-side comparison of two runs,
 //     per-round wire bytes and MMD trajectory — the Table III view of
 //     rFedAvg vs rFedAvg+.
+//   - With -follow: a live dashboard that tails a still-growing ledger
+//     (and, with -events, the event stream), refreshing in place — round
+//     progress with a loss sparkline, the top-N unhealthiest clients, and
+//     active health alerts. It exits when the run's run_done event arrives,
+//     or renders forever (Ctrl-C) without an event stream.
 //
 // Example:
 //
@@ -19,12 +24,15 @@
 //	fltrace -trace t.jsonl -ledger a.jsonl
 //	flsim -algos rfedavg -ledger b.jsonl
 //	fltrace -ledger a.jsonl -compare b.jsonl
+//	flsim -algos rfedavg+ -ledger a.jsonl -events e.jsonl &
+//	fltrace -follow -ledger a.jsonl -events e.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/traceview"
 )
@@ -35,12 +43,26 @@ func main() {
 		ledgerPath = flag.String("ledger", "", "run-ledger JSONL file (summary table, or waterfall annotations with -trace)")
 		compare    = flag.String("compare", "", "second run-ledger JSONL file to compare against -ledger")
 		width      = flag.Int("width", 64, "waterfall bar area width in columns")
+		follow     = flag.Bool("follow", false, "tail -ledger/-events live and render a refreshing dashboard")
+		eventsPath = flag.String("events", "", "event-log JSONL file for -follow (alerts, run_done)")
+		interval   = flag.Duration("interval", time.Second, "refresh interval for -follow")
+		topN       = flag.Int("top", 8, "unhealthiest clients shown by -follow")
 	)
 	flag.Parse()
 
 	if *tracePath == "" && *ledgerPath == "" {
 		fmt.Fprintln(os.Stderr, "fltrace: need -trace and/or -ledger (see -h)")
 		os.Exit(2)
+	}
+	if *follow {
+		if *ledgerPath == "" {
+			fmt.Fprintln(os.Stderr, "fltrace: -follow needs -ledger")
+			os.Exit(2)
+		}
+		if err := followLoop(*ledgerPath, *eventsPath, *topN, *interval, *width); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if *compare != "" && *ledgerPath == "" {
 		fmt.Fprintln(os.Stderr, "fltrace: -compare needs -ledger as the first run")
@@ -83,6 +105,30 @@ func main() {
 		if err := traceview.Summary(os.Stdout, ledger); err != nil {
 			fail(err)
 		}
+	}
+}
+
+// followLoop polls the ledger/event streams and redraws the dashboard until
+// the run's run_done event arrives (never, without an event stream). The
+// first frame renders immediately so attaching to a finished run is a
+// one-shot report.
+func followLoop(ledger, events string, topN int, interval time.Duration, width int) error {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	f := traceview.NewFollower(ledger, events, topN)
+	for {
+		if _, err := f.Poll(); err != nil {
+			return err
+		}
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err := f.Render(os.Stdout, width+36); err != nil {
+			return err
+		}
+		if f.Done() {
+			return nil
+		}
+		time.Sleep(interval)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/health"
 	"repro/internal/telemetry"
 )
 
@@ -90,6 +91,38 @@ func AsyncFlags(adaptive bool) *Async {
 		a.MaxDeadline = flag.Duration("max-deadline", 0, maxDlHelp)
 	}
 	return a
+}
+
+// Health holds the shared run-health-monitor flags.
+type Health struct {
+	Enabled *bool
+	Rules   *string
+}
+
+// HealthFlags installs the shared -health and -health-rules flags on the
+// default flag set. Build the monitor with Monitor after flag.Parse.
+func HealthFlags() *Health {
+	return &Health{
+		Enabled: flag.Bool("health", false,
+			"per-client run health monitoring: rolling anomaly scores, round verdicts, rfl_health_* metrics, and threshold alerts"),
+		Rules: flag.String("health-rules", "",
+			"comma-separated health alert rules, metric<value or metric>value (e.g. \"score<0.4,norm_z>6\"); empty = the default score<0.5"),
+	}
+}
+
+// Monitor builds the health monitor the flags requested: nil (disabled,
+// safe to pass everywhere) when -health is off, otherwise a monitor
+// registering its rfl_health_* metrics on reg and emitting alerts to events
+// (either may be nil).
+func (h *Health) Monitor(reg *telemetry.Registry, events *telemetry.EventLog) (*health.Monitor, error) {
+	if h == nil || h.Enabled == nil || !*h.Enabled {
+		return nil, nil
+	}
+	rules, err := health.ParseRules(*h.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("-health-rules: %w", err)
+	}
+	return health.New(health.Config{Registry: reg, Events: events, Rules: rules}), nil
 }
 
 // Summary installs the shared -telemetry flag.

@@ -431,6 +431,14 @@ func (t *DeltaTable) TightObjective(k int) float64 {
 	return MMDSquaredMeans(t.row(k), t.MeanExcluding(k))
 }
 
+// TightObjectiveInto is TightObjective with the δ̄^{-k} target computed
+// into a caller-owned scratch of length Dim instead of a fresh allocation
+// — the alloc-free read behind the health monitor's per-client drift
+// signal.
+func (t *DeltaTable) TightObjectiveInto(scratch []float64, k int) float64 {
+	return MMDSquaredMeans(t.row(k), t.MeanExcludingInto(scratch, k))
+}
+
 // pairwiseParMin is the minimum N·N·Dim volume before PairwiseMMDInto fans
 // the row loop out to the tensor worker pool; below it the dispatch costs
 // more than the distances.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 
 	"repro/internal/fl"
@@ -42,6 +43,8 @@ type RFedAvgPlus struct {
 	f      *fl.Federation
 	global []float64
 	table  *DeltaTable
+	// healthScratch backs the health monitor's alloc-free drift reads.
+	healthScratch []float64
 }
 
 // DefaultStreamN is the client count at which rFedAvg+ servers (sim and
@@ -144,6 +147,19 @@ func (a *RFedAvgPlus) Round(round int, sampled []int) fl.RoundResult {
 	})
 	for _, out := range deltaOuts {
 		a.table.Set(out.Client.ID, out.Aux)
+	}
+	// Per-client MMD drift for the health monitor, off the freshly
+	// synchronized rows: √‖δ_k − δ̄^{-k}‖ into algorithm-owned scratch.
+	if h := f.Cfg.Health; h != nil {
+		if len(a.healthScratch) != f.FeatureDim() {
+			a.healthScratch = make([]float64, f.FeatureDim())
+		}
+		for _, out := range deltaOuts {
+			id := out.Client.ID
+			if a.table.Occupied(id) {
+				h.ObserveDrift(id, math.Sqrt(a.table.TightObjectiveInto(a.healthScratch, id)))
+			}
+		}
 	}
 	// Staleness accounting: unsampled clients' rows age; refreshed rows
 	// reset to age 1. Past MaxStale a row falls out of the next round's

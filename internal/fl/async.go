@@ -104,6 +104,7 @@ func (f *Federation) ApplyAsync(round int, outs []ClientOut) ([]ClientOut, []int
 		d := f.deferred[id]
 		agg = append(agg, d.out)
 		ages = append(ages, round-d.round)
+		f.Cfg.Health.ObserveFold(id, round-d.round)
 		delete(f.deferred, id)
 	}
 	return agg, ages

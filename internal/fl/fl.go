@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/data"
+	"repro/internal/health"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/opt"
@@ -94,6 +95,40 @@ type Config struct {
 	LedgerDetailN int
 	// Events, when non-nil, receives one JSONL line per lifecycle event.
 	Events *telemetry.EventLog
+
+	// Health, when non-nil, scores every sampled client's contribution in
+	// real time (the simulation twin of the transport server's monitor):
+	// each parameter-reporting MapClients pass feeds it one observation
+	// per client, async folds are credited with their age, and Run closes
+	// each scoring round after the algorithm's Round returns.
+	Health *health.Monitor
+	// Byzantine marks simulated adversaries by client ID: after local
+	// training each marked client's reported update is rewritten to
+	// g + fac·(w − g), with fac = −1 for a sign flip, C for a scaled
+	// update, or −C for both. The tampered update feeds aggregation (the
+	// attack is real), while the reported loss and δ map stay honest —
+	// exactly the threat the health monitor's direction and norm signals
+	// must catch.
+	Byzantine map[int]Byzantine
+}
+
+// Byzantine configures one simulated adversary.
+type Byzantine struct {
+	SignFlip bool
+	// Scale multiplies the update by C when > 0.
+	Scale float64
+}
+
+// factor is the update rewrite factor; 1 means the client acts honestly.
+func (b Byzantine) factor() float64 {
+	fac := 1.0
+	if b.Scale > 0 {
+		fac = b.Scale
+	}
+	if b.SignFlip {
+		fac = -fac
+	}
+	return fac
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +210,12 @@ type Worker struct {
 	// spans started inside the client's local work. Like net and arena it
 	// is single-goroutine: only the worker's own task touches it.
 	spanCtx telemetry.SpanContext
+	// loadedFlat aliases the flat slice of the last LoadModel call — the
+	// global this worker's current client trained from, which the
+	// Byzantine rewrite mirrors around and the health monitor diffs
+	// against. Cleared at every MapClients entry so a pass that skips
+	// LoadModel (the δ pass) cannot leak a stale reference.
+	loadedFlat []float64
 }
 
 // SpanContext returns the worker's current client_round span context, the
@@ -284,6 +325,7 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 	var wg sync.WaitGroup
 	restore := f.splitKernelBudget()
 	for _, w := range f.workers {
+		w.loadedFlat = nil
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
@@ -293,6 +335,9 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 				cr.Round, cr.Client = round, c.ID
 				w.spanCtx = cr.Context()
 				outs[ti] = work(w, c, f.roundRNG(round, c.ID))
+				if len(f.Cfg.Byzantine) > 0 {
+					f.tamper(w, &outs[ti])
+				}
 				cr.End()
 			}
 		}(w)
@@ -303,7 +348,67 @@ func (f *Federation) MapClients(round int, sampled []int, work func(w *Worker, c
 	close(tasks)
 	wg.Wait()
 	restore()
+	f.observeHealth(round, outs)
 	return outs
+}
+
+// tamper applies a client's configured Byzantine rewrite to its reported
+// update, mirroring it around the global the worker trained from. Loss and
+// Aux (the δ map) stay honest — the attack only touches the parameters.
+func (f *Federation) tamper(w *Worker, out *ClientOut) {
+	bz, ok := f.Cfg.Byzantine[out.Client.ID]
+	if !ok || out.Params == nil || len(w.loadedFlat) != len(out.Params) {
+		return
+	}
+	fac := bz.factor()
+	if fac == 1 {
+		return
+	}
+	for i, g := range w.loadedFlat {
+		out.Params[i] = g + fac*(out.Params[i]-g)
+	}
+}
+
+// observeHealth feeds a parameter-reporting MapClients pass to the health
+// monitor: one direction-accumulation sweep, then one observation per
+// client, against the global the workers trained from. Passes without
+// parameter outputs (the δ sync) are skipped.
+func (f *Federation) observeHealth(round int, outs []ClientOut) {
+	h := f.Cfg.Health
+	if h == nil {
+		return
+	}
+	var global []float64
+	for _, w := range f.workers {
+		if w.loadedFlat != nil {
+			global = w.loadedFlat
+			break
+		}
+	}
+	if global == nil {
+		return
+	}
+	any := false
+	for i := range outs {
+		if outs[i].Params != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	h.BeginRound(round)
+	for i := range outs {
+		if outs[i].Params != nil {
+			h.AccumDirection(outs[i].Params, global)
+		}
+	}
+	for i := range outs {
+		if outs[i].Params != nil {
+			h.ObserveUpdate(outs[i].Client.ID, outs[i].Loss, outs[i].Params, global)
+		}
+	}
 }
 
 // splitKernelBudget divides the machine's parallelism budget among the
@@ -405,6 +510,7 @@ func (f *Federation) DefaultLocalOpts(round int) LocalOpts {
 func (w *Worker) LoadModel(flat []float64) {
 	w.net.SetFlat(flat)
 	w.localOpt.Reset()
+	w.loadedFlat = flat
 }
 
 // Net exposes the worker's network to algorithm implementations.
@@ -754,6 +860,7 @@ func Run(f *Federation, alg Algorithm, rounds int) *metrics.History {
 		f.roundCtx = tRound.Context()
 		start := time.Now()
 		res := alg.Round(c, sampled)
+		f.Cfg.Health.EndRound(res.TrainLoss)
 		tRound.End()
 		// Ledger timing comes from its own clock: an inert span (nil
 		// tracer) has no meaningful start to measure from.
@@ -834,6 +941,17 @@ func (f *Federation) recordLedger(alg Algorithm, round int, sampled []int, res R
 			rec.MMDSample = ledgerSampleRows(rec.MMDSample, len(f.Clients), telemetry.LedgerMMDSampleK)
 			rec.MMD = mr.SampledMMDInto(rec.MMD, rec.MMDSample)
 			rec.MMDDim = len(rec.MMDSample)
+		}
+	}
+	if h := f.Cfg.Health; h != nil {
+		rec.Verdict = h.LastVerdict()
+		rec.Unhealthy = h.UnhealthyCount()
+		if f.ledgerDetail() {
+			for _, id := range rec.ClientID {
+				rec.Health = append(rec.Health, h.Score(id))
+			}
+		} else {
+			h.CohortScores(func(_ int, score float64) { rec.HealthStats.Add(score) })
 		}
 	}
 	f.Cfg.Ledger.Record(rec)

@@ -1,0 +1,163 @@
+package health
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Rule is one alert threshold: fire while Metric is below (Less) or above
+// Value. Per-client metrics are evaluated against every cohort member each
+// round; run metrics against the round aggregate. Alerts are
+// edge-triggered: the event emits when a (client, rule) pair crosses into
+// violation, not on every round it stays there, and the pair stays listed
+// in the snapshot's active alerts until it recovers.
+type Rule struct {
+	Metric string
+	Less   bool
+	Value  float64
+
+	src string // the "metric<value" source text, pre-rendered for alerts
+}
+
+// String returns the rule's source form, e.g. "score<0.5".
+func (r Rule) String() string { return r.src }
+
+// Per-client rule metrics.
+var clientMetrics = map[string]func(m *Monitor, st *clientState) float64{
+	"score":   func(m *Monitor, st *clientState) float64 { return m.effectiveScoreLocked(st) },
+	"loss":    func(m *Monitor, st *clientState) float64 { return st.loss },
+	"loss_z":  func(m *Monitor, st *clientState) float64 { return st.lossZ },
+	"norm":    func(m *Monitor, st *clientState) float64 { return st.norm },
+	"norm_z":  func(m *Monitor, st *clientState) float64 { return st.normZ },
+	"cos":     func(m *Monitor, st *clientState) float64 { return st.cos },
+	"drift":   func(m *Monitor, st *clientState) float64 { return st.drift },
+	"drift_z": func(m *Monitor, st *clientState) float64 { return st.driftZ },
+}
+
+// Run-level rule metrics.
+var runMetrics = map[string]bool{
+	"run_loss":       true,
+	"unhealthy_frac": true,
+	"score_min":      true,
+}
+
+// DefaultRules is the rule set used when none is configured: alert on any
+// client crossing the unhealthy-score threshold.
+func DefaultRules() []Rule {
+	r, _ := parseRule("score<0.5")
+	return []Rule{r}
+}
+
+// ParseRules parses a comma-separated rule list like
+// "score<0.5,norm_z>6,run_loss>10". Empty input yields DefaultRules().
+func ParseRules(s string) ([]Rule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DefaultRules(), nil
+	}
+	var rules []Rule
+	for _, part := range strings.Split(s, ",") {
+		r, err := parseRule(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	op := strings.IndexAny(s, "<>")
+	if op <= 0 || op == len(s)-1 {
+		return Rule{}, fmt.Errorf("health: rule %q is not metric<value or metric>value", s)
+	}
+	metric := strings.TrimSpace(s[:op])
+	if _, perClient := clientMetrics[metric]; !perClient && !runMetrics[metric] {
+		return Rule{}, fmt.Errorf("health: unknown rule metric %q", metric)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s[op+1:]), 64)
+	if err != nil {
+		return Rule{}, fmt.Errorf("health: rule %q: bad threshold: %v", s, err)
+	}
+	return Rule{Metric: metric, Less: s[op] == '<', Value: v, src: metric + string(s[op]) + strconv.FormatFloat(v, 'g', -1, 64)}, nil
+}
+
+func (r Rule) violated(v float64) bool {
+	if !isFinite(v) {
+		return false
+	}
+	if r.Less {
+		return v < r.Value
+	}
+	return v > r.Value
+}
+
+// evalRulesLocked rebuilds the active-alert list and emits edge-triggered
+// events for fresh violations. The happy path appends to reused storage
+// and touches no formatting; the event emission on a rising edge is the
+// only allocating branch, and it is off the steady-state path by design.
+func (m *Monitor) evalRulesLocked(unhealthyFrac, scoreMin float64) {
+	m.active = m.active[:0]
+	for ri, r := range m.rules {
+		bit := uint64(1) << uint(ri&63)
+		if get, ok := clientMetrics[r.Metric]; ok {
+			for _, st := range m.cohort {
+				v := get(m, st)
+				if r.violated(v) {
+					m.active = append(m.active, Alert{Round: m.round, Client: st.id, Rule: r.src, Value: v})
+					if st.alerts&bit == 0 {
+						st.alerts |= bit
+						m.emitAlertLocked(st.id, r.src, v)
+					}
+				} else {
+					st.alerts &^= bit
+				}
+			}
+			continue
+		}
+		var v float64
+		switch r.Metric {
+		case "run_loss":
+			v = m.runLoss
+		case "unhealthy_frac":
+			v = unhealthyFrac
+		case "score_min":
+			v = scoreMin
+		}
+		if r.violated(v) {
+			m.active = append(m.active, Alert{Round: m.round, Client: -1, Rule: r.src, Value: v})
+			if m.runAlerts&bit == 0 {
+				m.runAlerts |= bit
+				m.emitAlertLocked(-1, r.src, v)
+			}
+		} else {
+			m.runAlerts &^= bit
+		}
+	}
+}
+
+func (m *Monitor) emitAlertLocked(client int, rule string, v float64) {
+	m.cAlerts.Inc()
+	if m.events == nil {
+		return
+	}
+	who := "run"
+	if client >= 0 {
+		who = "client " + strconv.Itoa(client)
+	}
+	m.events.Emit("health_alert", m.round,
+		who+" violated "+rule+" (value "+strconv.FormatFloat(v, 'g', 4, 64)+")")
+}
+
+// ActiveAlerts calls f for every currently active alert.
+func (m *Monitor) ActiveAlerts(f func(Alert)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, a := range m.active {
+		f(a)
+	}
+}

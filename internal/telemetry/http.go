@@ -9,16 +9,27 @@ import (
 	"time"
 )
 
+// DebugEndpoint attaches an extra handler to the telemetry mux — e.g. the
+// health monitor's live snapshot at /debug/fl/health.
+type DebugEndpoint struct {
+	Path string
+	H    http.Handler
+}
+
 // Handler returns an http.Handler serving the registry at /metrics, a
-// liveness probe at /healthz, and the standard pprof endpoints under
-// /debug/pprof/ — the whole observability surface of a server process,
-// with no dependencies beyond net/http.
-func Handler(reg *Registry) http.Handler {
+// liveness probe at /healthz, the standard pprof endpoints under
+// /debug/pprof/, and any extra debug endpoints — the whole observability
+// surface of a server process, with no dependencies beyond net/http. The
+// Go runtime gauges (rfl_go_*) are registered here and refreshed on every
+// /metrics scrape.
+func Handler(reg *Registry, extra ...DebugEndpoint) http.Handler {
 	if reg == nil {
 		reg = Default()
 	}
+	sampleRuntime := RegisterRuntimeStats(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		sampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WriteText(w)
 	})
@@ -31,6 +42,11 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Path != "" && e.H != nil {
+			mux.Handle(e.Path, e.H)
+		}
+	}
 	return mux
 }
 
@@ -40,10 +56,10 @@ type Server struct {
 	srv *http.Server
 }
 
-// ListenAndServe starts serving Handler(reg) on addr (":0" picks a free
-// port) in a background goroutine and returns immediately.
-func ListenAndServe(addr string, reg *Registry) (*Server, error) {
-	return ListenAndServeHandler(addr, Handler(reg))
+// ListenAndServe starts serving Handler(reg, extra...) on addr (":0" picks
+// a free port) in a background goroutine and returns immediately.
+func ListenAndServe(addr string, reg *Registry, extra ...DebugEndpoint) (*Server, error) {
+	return ListenAndServeHandler(addr, Handler(reg, extra...))
 }
 
 // ListenAndServeHandler is ListenAndServe with an arbitrary handler —

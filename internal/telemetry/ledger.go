@@ -117,6 +117,14 @@ type RoundRecord struct {
 	LateID      []int
 	LateAge     []int
 	DeadlineSec float64
+
+	// Health-monitor fields: per-client scores aligned with ClientID in
+	// detail mode, a min/mean/max triple in summary mode, plus the round
+	// verdict and unhealthy count. All empty when monitoring is off.
+	Health      []float64
+	HealthStats StatTriple
+	Verdict     string
+	Unhealthy   int
 }
 
 // Reset clears r for reuse, keeping slice capacity.
@@ -145,6 +153,10 @@ func (r *RoundRecord) Reset() {
 	r.LateID = r.LateID[:0]
 	r.LateAge = r.LateAge[:0]
 	r.DeadlineSec = 0
+	r.Health = r.Health[:0]
+	r.HealthStats = StatTriple{}
+	r.Verdict = ""
+	r.Unhealthy = 0
 }
 
 // Record writes r as one JSON line. Safe on a nil ledger.
@@ -239,6 +251,19 @@ func (l *RunLedger) Record(r *RoundRecord) {
 	if r.DeadlineSec > 0 {
 		b = append(b, `,"deadline_sec":`...)
 		b = appendJSONFloat(b, r.DeadlineSec)
+	}
+	if len(r.Health) > 0 {
+		b = append(b, `,"health":`...)
+		b = appendJSONFloats(b, r.Health)
+	}
+	if r.HealthStats.N > 0 {
+		b = appendStatTriple(b, `,"health_stats":`, &r.HealthStats)
+	}
+	if r.Verdict != "" {
+		b = append(b, `,"verdict":`...)
+		b = appendJSONString(b, r.Verdict)
+		b = append(b, `,"unhealthy":`...)
+		b = strconv.AppendInt(b, int64(r.Unhealthy), 10)
 	}
 	b = append(b, '}', '\n')
 	l.buf = b

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "", []float64{1, 2, 4, 8})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// 100 observations uniform over (0, 1]: everything lands in the first
+	// bucket, so interpolation walks the (0, 1] range linearly.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 over first bucket = %v, want 0.5", got)
+	}
+	// Push 100 more into (4, 8]: p50 sits at the first bucket's upper
+	// bound, p95 interpolates 90% into (4, 8], p100 clamps to 8.
+	for i := 0; i < 100; i++ {
+		h.Observe(6)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1", got)
+	}
+	if got := h.Quantile(0.95); math.Abs(got-7.6) > 1e-9 {
+		t.Fatalf("p95 = %v, want 7.6", got)
+	}
+	if got := h.Quantile(1); got != 8 {
+		t.Fatalf("p100 = %v, want 8", got)
+	}
+	// +Inf observations clamp to the largest finite bound.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 8 {
+		t.Fatalf("p99 with +Inf mass = %v, want clamp to 8", got)
+	}
+}
+
+func TestWriteSummaryIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_sum", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	var b strings.Builder
+	if err := r.WriteSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p95=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("summary missing quantiles:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeStats registers the Go runtime gauges — rfl_go_goroutines,
+// rfl_go_heap_bytes, rfl_go_gc_pause_seconds — on the registry and returns
+// a sampler that refreshes them. Handler calls the sampler on every
+// /metrics scrape, so the series reflect scrape time rather than whenever
+// the process last bothered; runtime.ReadMemStats is a stop-the-world
+// operation, which is why sampling is tied to scrapes and not a ticker.
+func RegisterRuntimeStats(reg *Registry) func() {
+	if reg == nil {
+		reg = Default()
+	}
+	goroutines := reg.Gauge("rfl_go_goroutines", "goroutines at the last scrape")
+	heap := reg.Gauge("rfl_go_heap_bytes", "heap bytes in use at the last scrape")
+	gcPause := reg.Gauge("rfl_go_gc_pause_seconds", "cumulative GC stop-the-world pause seconds")
+	return func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	}
+}

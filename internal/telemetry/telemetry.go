@@ -122,6 +122,48 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Quantile returns a streaming estimate of the q-quantile (q in [0, 1])
+// by linear interpolation inside the bucket holding the target rank — the
+// same estimate a Prometheus histogram_quantile() would produce from the
+// cumulative series. Observations in the +Inf bucket clamp to the largest
+// finite bound. NaN when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.Count()
+	if total == 0 || len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / c
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DefDurationBuckets covers sub-millisecond kernel phases up to ten-second
 // stalls — the default for the round/phase span histograms.
 var DefDurationBuckets = []float64{
@@ -352,8 +394,11 @@ func (r *Registry) WriteSummary(w io.Writer) error {
 		default:
 			if n := e.hist.Count(); n != 0 {
 				sum := e.hist.Sum()
-				_, err = fmt.Fprintf(w, "%-48s count=%d sum=%s mean=%s\n",
-					e.name, n, formatFloat(sum), formatFloat(sum/float64(n)))
+				_, err = fmt.Fprintf(w, "%-48s count=%d sum=%s mean=%s p50=%s p95=%s p99=%s\n",
+					e.name, n, formatFloat(sum), formatFloat(sum/float64(n)),
+					formatFloat(e.hist.Quantile(0.50)),
+					formatFloat(e.hist.Quantile(0.95)),
+					formatFloat(e.hist.Quantile(0.99)))
 			}
 		}
 		if err != nil {

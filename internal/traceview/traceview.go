@@ -56,15 +56,22 @@ type LedgerLine struct {
 	MMDSample []int     `json:"mmd_sample"`
 	MMDDim    int       `json:"mmd_dim"`
 	MMD       []float64 `json:"mmd"`
-	DeltaAges  []int     `json:"delta_ages"`
-	StaleRows  int       `json:"stale_rows"`
-	Evicted    []int     `json:"evicted"`
-	Rejoins    int       `json:"rejoins"`
+	DeltaAges []int     `json:"delta_ages"`
+	StaleRows int       `json:"stale_rows"`
+	Evicted   []int     `json:"evicted"`
+	Rejoins   int       `json:"rejoins"`
 	// Async-mode fields: parked updates folded late into this round's
 	// aggregate (LateAge aligned with LateID) and the deadline in force.
 	LateID      []int   `json:"late_id"`
 	LateAge     []int   `json:"late_age"`
 	DeadlineSec float64 `json:"deadline_sec"`
+	// Health-monitor fields: per-client scores aligned with ClientID
+	// (detail mode) or a [min, mean, max] triple (summary mode), plus the
+	// round verdict and unhealthy count.
+	Health      []float64 `json:"health"`
+	HealthStats []float64 `json:"health_stats"`
+	Verdict     string    `json:"verdict"`
+	Unhealthy   int       `json:"unhealthy"`
 }
 
 // MeanMMD is the mean off-diagonal entry of the record's pairwise MMD

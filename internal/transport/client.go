@@ -8,6 +8,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/health"
 	"repro/internal/nn"
 	"repro/internal/opt"
 	"repro/internal/telemetry"
@@ -57,6 +58,11 @@ type ClientConfig struct {
 	// Events, when non-nil, receives one JSONL line per client lifecycle
 	// event (join, skip, done).
 	Events *telemetry.EventLog
+	// Health, when non-nil, self-monitors this client: each round's local
+	// loss and update feed a single-client monitor, so the norm z-score
+	// runs against the client's own cross-round history (the cohort-wide
+	// signals stay inert with a cohort of one).
+	Health *health.Monitor
 }
 
 // RunClient joins a federated session on conn with the given local shard
@@ -143,6 +149,13 @@ func RunClient(conn Conn, shard *data.Dataset, cfg ClientConfig) ([]float64, err
 			cr.End()
 			if err != nil {
 				return nil, err
+			}
+			if cfg.Health != nil {
+				flat := out.Params
+				if flat == nil {
+					flat = net.GetFlat()
+				}
+				cfg.Health.ObserveSelf(int(m.Round), int(m.ClientID), loss, flat, params)
 			}
 		case MsgDeltaReq:
 			cd := cfg.Tracer.Start("compute_delta", m.SpanContext())

@@ -42,6 +42,31 @@ type FaultPlan struct {
 	// same client is slow every round — which is what asynchronous buffered
 	// aggregation is designed to route around.
 	StragglerDelay time.Duration
+
+	// SignFlipUpdate turns the client Byzantine: every outgoing MsgUpdate
+	// is rewritten to w' = g − (w − g), the mirror of the honest update
+	// around the last received global g. The tampered update keeps the
+	// honest norm and reported loss, so only direction-based detection can
+	// see it.
+	SignFlipUpdate bool
+	// ScaleUpdate, when > 0, rewrites outgoing updates to w' = g + C(w−g)
+	// — the scaled-update (model-boosting) attack. Composes with
+	// SignFlipUpdate (the factor becomes −C). Both modes need the dense
+	// update path: they rewrite Params against the last dense MsgAssign
+	// payload and leave compressed frames untouched.
+	ScaleUpdate float64
+}
+
+// updateFactor is the Byzantine rewrite factor; 1 means honest.
+func (p *FaultPlan) updateFactor() float64 {
+	fac := 1.0
+	if p.ScaleUpdate > 0 {
+		fac = p.ScaleUpdate
+	}
+	if p.SignFlipUpdate {
+		fac = -fac
+	}
+	return fac
 }
 
 // FaultConn wraps a Conn with the injected-fault schedule of a FaultPlan.
@@ -55,6 +80,9 @@ type FaultConn struct {
 	rng  *rand.Rand
 	ops  int
 	dead bool
+	// ref is the last dense global received in a MsgAssign — the mirror
+	// point of the Byzantine update rewrites.
+	ref []float64
 }
 
 // NewFaultConn wraps inner with plan's fault schedule.
@@ -106,6 +134,17 @@ func (c *FaultConn) Send(m *Message) error {
 	if roll(c.plan.DropSendProb) {
 		return nil // lost in flight: local success, nothing on the wire
 	}
+	if fac := c.plan.updateFactor(); fac != 1 && m.Type == MsgUpdate && len(m.Params) > 0 {
+		c.mu.Lock()
+		ref := c.ref
+		c.mu.Unlock()
+		if len(ref) == len(m.Params) {
+			m = m.Clone()
+			for i := range m.Params {
+				m.Params[i] = ref[i] + fac*(m.Params[i]-ref[i])
+			}
+		}
+	}
 	if roll(c.plan.CorruptProb) {
 		m = m.Clone()
 		switch {
@@ -141,7 +180,13 @@ func (c *FaultConn) Recv() (*Message, error) {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
-	return c.inner.Recv()
+	m, err := c.inner.Recv()
+	if err == nil && c.plan.updateFactor() != 1 && m.Type == MsgAssign && len(m.Params) > 0 {
+		c.mu.Lock()
+		c.ref = append(c.ref[:0], m.Params...)
+		c.mu.Unlock()
+	}
+	return m, err
 }
 
 // Close closes the inner connection and marks the wrapper dead.

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
@@ -137,6 +138,11 @@ type ServerConfig struct {
 	// MMD matrix of the δ table (rFedAvg+), δ-row ages, evictions/rejoins,
 	// and the attempt's wire bytes in each direction.
 	Ledger *telemetry.RunLedger
+	// Health, when non-nil, receives per-round health observations: every
+	// validated update, async folds, δ drift, and evictions. Scores and
+	// the round verdict land in the ledger and on the monitor's own
+	// rfl_health_* metrics and /debug/fl/health snapshot.
+	Health *health.Monitor
 	// LedgerDetailN bounds the per-client ledger detail: sessions with more
 	// client slots than this record summary statistics (cohort size,
 	// loss/norm min-mean-max, age summary) and a sampled K×K MMD sub-matrix
@@ -235,6 +241,10 @@ type session struct {
 	lateCh   chan lateMsg
 	updAges  *core.AgeTrack
 	ctrl     *deadlineController
+
+	// healthScratch is the δ̄^{-k} buffer behind the health monitor's
+	// per-client drift reads (session-owned so the read allocates nothing).
+	healthScratch []float64
 }
 
 // pendingJoin is a rejoining client that completed its handshake but is
@@ -255,8 +265,8 @@ type pendingJoin struct {
 type sessionCodec struct {
 	policy CodecPolicy
 	seed   int64
-	n     int // client slots; also the stride separating server RNG salts
-	nslot int // slots with allocated state (negotiated at least once)
+	n      int // client slots; also the stride separating server RNG salts
+	nslot  int // slots with allocated state (negotiated at least once)
 
 	slots []*codecSlot
 }
@@ -547,6 +557,7 @@ func (s *session) evict(i, round int, reason string) {
 	s.res.Evictions = append(s.res.Evictions, Eviction{Client: i, Round: round, Reason: reason})
 	s.metrics.evictions.Inc()
 	s.lastFault = fmt.Sprintf("client %d: %s", i, reason)
+	s.cfg.Health.ObserveEvict(i)
 	s.logf("evicted client %d (round %d): %s", i, round, reason)
 	s.event("evict", round, s.lastFault)
 }
@@ -959,6 +970,25 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 	if valid+len(folds) < s.minClients {
 		return false
 	}
+	// Health observation runs against the validated cohort while s.global
+	// is still the model the clients trained from: one direction-sum pass,
+	// then one ObserveUpdate per update; folds are credited with their age.
+	if h := s.cfg.Health; h != nil {
+		h.BeginRound(round)
+		for _, m := range updates {
+			if m != nil {
+				h.AccumDirection(m.Params, s.global)
+			}
+		}
+		for i, m := range updates {
+			if m != nil {
+				h.ObserveUpdate(i, m.Loss, m.Params, s.global)
+			}
+		}
+		for _, b := range folds {
+			h.ObserveFold(b.Client, round-b.Round)
+		}
+	}
 	// Renormalize the aggregation weights over the survivors that actually
 	// delivered. valid ≥ 1 and every join carried > 0 samples, but guard
 	// the division anyway: 0/0 here would NaN the whole model.
@@ -1105,6 +1135,16 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 				s.table.Set(i, m.Delta)
 			}
 		}
+		// Per-client MMD drift for the health monitor: √‖δ_k − δ̄^{-k}‖
+		// over the freshly synchronized rows, into session-owned scratch.
+		if h := s.cfg.Health; h != nil {
+			scratch := resizeFloats(&s.healthScratch, s.cfg.FeatureDim)
+			for i, m := range deltas {
+				if m != nil && s.table.Occupied(i) {
+					h.ObserveDrift(i, math.Sqrt(s.table.TightObjectiveInto(scratch, i)))
+				}
+			}
+		}
 		td.End()
 		dSpan.End()
 	}
@@ -1161,6 +1201,24 @@ func (s *session) attemptRound(round int, roundCtx telemetry.SpanContext) bool {
 			rec.AgeStats = at
 		}
 		rec.StaleRows = stale
+	}
+
+	// Close the health round: robust statistics, scores, rules, verdict —
+	// then ledger the result (per-client scores in detail mode, a
+	// min/mean/max triple in summary mode).
+	if h := s.cfg.Health; h != nil {
+		verdict := h.EndRound(loss)
+		if s.cfg.Ledger != nil {
+			rec.Verdict = verdict
+			rec.Unhealthy = h.UnhealthyCount()
+			if s.ledgerDetail() {
+				for _, id := range rec.ClientID {
+					rec.Health = append(rec.Health, h.Score(id))
+				}
+			} else {
+				h.CohortScores(func(_ int, score float64) { rec.HealthStats.Add(score) })
+			}
+		}
 	}
 
 	s.res.Cohorts = append(s.res.Cohorts, RoundCohort{Round: round, Mask: cohort})
